@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Helpers shared by the figure/table benches: standard baselines,
+ * group-mean bookkeeping, and percent-gain reporting.
+ */
+
+#ifndef SMTHILL_BENCH_BENCH_COMMON_HH
+#define SMTHILL_BENCH_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "harness/runner.hh"
+
+namespace smthill::benchutil
+{
+
+/** Mean-by-key accumulator (per workload group, per policy...). */
+class GroupMeans
+{
+  public:
+    void
+    add(const std::string &key, double value)
+    {
+        auto &e = sums[key];
+        e.first += value;
+        e.second += 1;
+    }
+
+    double
+    mean(const std::string &key) const
+    {
+        auto it = sums.find(key);
+        if (it == sums.end() || it->second.second == 0)
+            return 0.0;
+        return it->second.first / it->second.second;
+    }
+
+  private:
+    std::map<std::string, std::pair<double, int>> sums;
+};
+
+/** @return percent gain of a over b. */
+inline double
+pctGain(double a, double b)
+{
+    return b > 0.0 ? 100.0 * (a / b - 1.0) : 0.0;
+}
+
+/** Print a "X vs Y: +Z%" line. */
+inline void
+printGain(const char *what, double ours, double theirs)
+{
+    std::printf("  %-28s %+6.1f%%\n", what, pctGain(ours, theirs));
+}
+
+/** Solo-IPC window used consistently across benches. */
+inline Cycle
+soloWindow(const RunConfig &rc)
+{
+    return static_cast<Cycle>(rc.epochs) * rc.epochSize;
+}
+
+} // namespace smthill::benchutil
+
+#endif // SMTHILL_BENCH_BENCH_COMMON_HH

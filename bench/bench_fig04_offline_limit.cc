@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Figure 4 (the limit study, Section 3.3): OFF-LINE exhaustive
+ * learning versus ICOUNT, FLUSH, and DCRA on the 21 two-thread
+ * workloads, under the weighted IPC metric. The paper reports
+ * OFF-LINE gains of +19.2% over ICOUNT, +18.0% over FLUSH, and
+ * +7.6% over DCRA, largest in the MEM2 group.
+ *
+ * Scale with SMTHILL_EPOCHS (default 12) and SMTHILL_OFFLINE_STRIDE
+ * (default 16; the paper uses 2 = 127 trials/epoch).
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "core/offline_exhaustive.hh"
+#include "harness/table.hh"
+#include "policy/dcra.hh"
+#include "policy/flush.hh"
+#include "policy/icount.hh"
+
+using namespace smthill;
+using namespace smthill::benchutil;
+
+int
+main()
+{
+    banner("Figure 4: OFF-LINE exhaustive learning vs ICOUNT / FLUSH / "
+           "DCRA (2-thread workloads, weighted IPC)");
+
+    RunConfig rc = benchRunConfig(10);
+    const int stride =
+        static_cast<int>(envScale("SMTHILL_OFFLINE_STRIDE", 16));
+
+    Table t({"workload", "group", "ICOUNT", "FLUSH", "DCRA", "OFF-LINE"});
+    GroupMeans means;
+
+    for (const Workload &w : twoThreadWorkloads()) {
+        auto solo = soloIpcs(w, rc, soloWindow(rc));
+
+        IcountPolicy icount;
+        FlushPolicy flush;
+        DcraPolicy dcra;
+        double m_icount = runPolicy(w, icount, rc)
+                              .metric(PerfMetric::WeightedIpc, solo);
+        double m_flush =
+            runPolicy(w, flush, rc).metric(PerfMetric::WeightedIpc, solo);
+        double m_dcra =
+            runPolicy(w, dcra, rc).metric(PerfMetric::WeightedIpc, solo);
+
+        OfflineConfig oc;
+        oc.epochSize = rc.epochSize;
+        oc.stride = stride;
+        oc.singleIpc = solo;
+        OfflineExhaustive off(oc);
+        SmtCpu cpu = makeCpu(w, rc);
+        double m_off = off.run(cpu, rc.epochs).meanMetric();
+
+        t.beginRow();
+        t.cell(w.name);
+        t.cell(w.group);
+        t.cell(m_icount);
+        t.cell(m_flush);
+        t.cell(m_dcra);
+        t.cell(m_off);
+
+        means.add(w.group + "/ICOUNT", m_icount);
+        means.add(w.group + "/FLUSH", m_flush);
+        means.add(w.group + "/DCRA", m_dcra);
+        means.add(w.group + "/OFF", m_off);
+        means.add("all/ICOUNT", m_icount);
+        means.add("all/FLUSH", m_flush);
+        means.add("all/DCRA", m_dcra);
+        means.add("all/OFF", m_off);
+    }
+    t.print();
+
+    std::printf("\ngroup means (weighted IPC):\n");
+    for (const char *g : {"ILP2", "MIX2", "MEM2"}) {
+        std::printf("  %-5s ICOUNT=%.3f FLUSH=%.3f DCRA=%.3f "
+                    "OFF-LINE=%.3f\n",
+                    g, means.mean(std::string(g) + "/ICOUNT"),
+                    means.mean(std::string(g) + "/FLUSH"),
+                    means.mean(std::string(g) + "/DCRA"),
+                    means.mean(std::string(g) + "/OFF"));
+    }
+
+    std::printf("\nOFF-LINE gains (paper: +19.2%% / +18.0%% / +7.6%%):\n");
+    printGain("over ICOUNT", means.mean("all/OFF"),
+              means.mean("all/ICOUNT"));
+    printGain("over FLUSH", means.mean("all/OFF"),
+              means.mean("all/FLUSH"));
+    printGain("over DCRA", means.mean("all/OFF"), means.mean("all/DCRA"));
+    std::printf("\nMEM2 gains (paper: +21.9%% / +39.4%% / +13.2%%):\n");
+    printGain("over ICOUNT", means.mean("MEM2/OFF"),
+              means.mean("MEM2/ICOUNT"));
+    printGain("over FLUSH", means.mean("MEM2/OFF"),
+              means.mean("MEM2/FLUSH"));
+    printGain("over DCRA", means.mean("MEM2/OFF"),
+              means.mean("MEM2/DCRA"));
+    return 0;
+}

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Simulator-component microbenchmarks (google-benchmark): core cycle
+ * throughput for different thread counts and workload classes,
+ * whole-machine checkpoint cost, stream generation, predictor and
+ * cache access rates. These are engineering numbers, not paper
+ * results; they bound how large the figure benches can be scaled.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "branch/predictors.hh"
+#include "common/rng.hh"
+#include "harness/runner.hh"
+#include "memory/cache.hh"
+#include "trace/spec_profiles.hh"
+
+using namespace smthill;
+
+namespace
+{
+
+SmtCpu
+machineFor(const std::vector<std::string> &benches)
+{
+    SmtConfig cfg;
+    cfg.numThreads = static_cast<int>(benches.size());
+    std::vector<StreamGenerator> gens;
+    for (std::size_t i = 0; i < benches.size(); ++i)
+        gens.emplace_back(specProfile(benches[i]), i);
+    SmtCpu cpu(cfg, std::move(gens));
+    cpu.run(200000); // warm
+    return cpu;
+}
+
+void
+BM_CoreCycles(benchmark::State &state,
+              const std::vector<std::string> &benches)
+{
+    SmtCpu cpu = machineFor(benches);
+    for (auto _ : state)
+        cpu.step();
+    state.SetItemsProcessed(state.iterations());
+    state.counters["ipc"] = benchmark::Counter(
+        static_cast<double>(cpu.stats().committedTotal()) /
+        static_cast<double>(cpu.now()));
+}
+
+void
+BM_Checkpoint(benchmark::State &state)
+{
+    SmtCpu cpu = machineFor({"art", "mcf"});
+    for (auto _ : state) {
+        SmtCpu copy = cpu;
+        benchmark::DoNotOptimize(&copy);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+BM_StreamGenerator(benchmark::State &state)
+{
+    StreamGenerator gen(specProfile("gcc"), 0);
+    for (auto _ : state) {
+        SynthInst inst = gen.next();
+        benchmark::DoNotOptimize(inst);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+BM_HybridPredictor(benchmark::State &state)
+{
+    HybridPredictor hp;
+    Rng rng(1);
+    Addr pc = 0x400000;
+    for (auto _ : state) {
+        auto lk = hp.predict(pc);
+        bool taken = rng.chance(0.7);
+        hp.update(pc, lk, taken);
+        pc = 0x400000 + (rng.next() & 0x3ff) * 4;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    Cache cache(CacheConfig{"dl1", 64 * 1024, 64, 2});
+    Rng rng(2);
+    for (auto _ : state) {
+        Addr addr = rng.next() & 0x3'ffff; // 256 KB footprint
+        benchmark::DoNotOptimize(cache.access(addr, false));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+} // namespace
+
+BENCHMARK_CAPTURE(BM_CoreCycles, solo_ilp,
+                  std::vector<std::string>{"bzip2"});
+BENCHMARK_CAPTURE(BM_CoreCycles, smt2_mem,
+                  std::vector<std::string>{"art", "mcf"});
+BENCHMARK_CAPTURE(BM_CoreCycles, smt4_mix,
+                  std::vector<std::string>{"art", "mcf", "fma3d", "gcc"});
+BENCHMARK(BM_Checkpoint);
+BENCHMARK(BM_StreamGenerator);
+BENCHMARK(BM_HybridPredictor);
+BENCHMARK(BM_CacheAccess);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Table 3 plus the Figure 11 annotation rows: the 42 multiprogrammed
+ * workloads with their summed resource requirements ("Rsc" column of
+ * Table 3), their SM/LG classification against the machine's total
+ * window, and the behavior the classification predicts (SS / TL /
+ * JL), per Section 4.4.2.
+ */
+
+#include <cstdio>
+
+#include "harness/table.hh"
+#include "trace/spec_profiles.hh"
+#include "workload/workloads.hh"
+
+using namespace smthill;
+
+namespace
+{
+
+/** Derived-characteristics label, Section 4.4.2. */
+std::string
+classify(const Workload &w)
+{
+    int threshold = w.numThreads() == 2 ? 256 : 416;
+    if (w.paperRscSum() <= threshold)
+        return "SM";
+    bool high = false, low = false;
+    for (const auto &b : w.benchmarks) {
+        int f = specInfo(b).freqClass;
+        high = high || f == 2;
+        low = low || f == 1;
+    }
+    std::string tag = "LG(";
+    if (low)
+        tag += "L";
+    if (high)
+        tag += "H";
+    if (!low && !high)
+        tag += "-";
+    return tag + ")";
+}
+
+/** Predicted time-varying behavior from the classification. */
+std::string
+predict(const std::string &cls)
+{
+    if (cls == "SM")
+        return "SS";
+    std::string out;
+    if (cls.find('L') != std::string::npos)
+        out += "TL";
+    if (cls.find('H') != std::string::npos)
+        out += out.empty() ? "JL" : "+JL";
+    if (out.empty())
+        out = "TL"; // large but static: learning time still binds
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Table 3: multiprogrammed workloads, Rsc sums, and "
+           "predicted behavior classes");
+
+    for (const auto &group : workloadGroups()) {
+        std::printf("\n-- %s --\n", group.c_str());
+        Table t({"workload", "Rsc(sum)", "class", "predicted",
+                 "source"});
+        for (const auto &w : workloadsInGroup(group)) {
+            std::string cls = classify(w);
+            t.beginRow();
+            t.cell(w.name);
+            t.cell(static_cast<std::int64_t>(w.paperRscSum()));
+            t.cell(cls);
+            t.cell(predict(cls));
+            t.cell(std::string(w.reconstructed ? "reconstructed"
+                                               : "Table 3"));
+        }
+        t.print();
+    }
+
+    std::printf("\nSM workloads fit the 256-register window and should "
+                "show spatially-stable (SS) behavior; LG(H) workloads\n"
+                "predict jitter-limited (JL) and LG(L) temporally-"
+                "limited (TL) behavior (Section 4.4.2).\n");
+    return 0;
+}

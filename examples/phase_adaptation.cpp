@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Phase-based hill climbing (Section 5): on a workload whose threads
+ * change behavior every few epochs, the BBV phase detector + Markov
+ * predictor let the learner re-install previously learned
+ * partitionings instead of re-climbing. This example reports phase
+ * statistics and compares plain vs phase-based hill climbing.
+ *
+ *   ./phase_adaptation [workload-name]   (default: mcf-twolf)
+ */
+
+#include <cstdio>
+
+#include "harness/runner.hh"
+#include "harness/table.hh"
+#include "phase/phase_hill.hh"
+#include "workload/workloads.hh"
+
+using namespace smthill;
+
+int
+main(int argc, char **argv)
+{
+    // mcf (Low-frequency) and twolf (High-frequency) both vary with
+    // time, the situation Section 5 targets.
+    const std::string name = argc > 1 ? argv[1] : "mcf-twolf";
+    const Workload &workload = workloadByName(name);
+    RunConfig rc = benchRunConfig(96);
+    auto solo = soloIpcs(workload, rc, 8 * rc.epochSize);
+
+    HillConfig hc;
+    hc.epochSize = rc.epochSize;
+    hc.metric = PerfMetric::WeightedIpc;
+
+    HillClimbing plain(hc);
+    RunResult plain_res = runPolicy(workload, plain, rc);
+
+    PhaseHillClimbing phased(hc);
+    RunResult phased_res = runPolicy(workload, phased, rc);
+
+    Table t({"policy", "wipc", "avg-ipc"});
+    t.beginRow();
+    t.cell(plain.name());
+    t.cell(plain_res.metric(PerfMetric::WeightedIpc, solo));
+    t.cell(plain_res.metric(PerfMetric::AvgIpc, solo));
+    t.beginRow();
+    t.cell(phased.name());
+    t.cell(phased_res.metric(PerfMetric::WeightedIpc, solo));
+    t.cell(phased_res.metric(PerfMetric::AvgIpc, solo));
+    t.print();
+
+    std::printf("\nphase statistics (%d epochs):\n", rc.epochs);
+    std::printf("  distinct phases observed : %d\n", phased.phasesSeen());
+    std::printf("  phase prediction accuracy: %.1f%%\n",
+                100.0 * phased.predictionAccuracy());
+    std::printf("  partition reuses         : %llu\n",
+                static_cast<unsigned long long>(phased.reuses()));
+    std::printf("\nThe paper reports a small overall gain (+0.4%%) that\n"
+                "concentrates in temporally-limited workloads (+2.1%%).\n");
+    return 0;
+}

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Compare every resource-distribution policy in the library —
+ * ICOUNT, STALL, FLUSH, DCRA, static partitioning, and the three
+ * hill-climbing variants — on one workload, with a per-epoch trace
+ * of the partition the learner is using.
+ *
+ *   ./policy_comparison [workload-name]   (default: swim-twolf)
+ */
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "core/hill_climbing.hh"
+#include "harness/runner.hh"
+#include "harness/table.hh"
+#include "policy/dcra.hh"
+#include "policy/dg.hh"
+#include "policy/flush.hh"
+#include "policy/icount.hh"
+#include "policy/stall.hh"
+#include "policy/stall_flush.hh"
+#include "policy/static_partition.hh"
+#include "workload/workloads.hh"
+
+using namespace smthill;
+
+int
+main(int argc, char **argv)
+{
+    const std::string name = argc > 1 ? argv[1] : "swim-twolf";
+    const Workload &workload = workloadByName(name);
+    RunConfig rc = benchRunConfig(48);
+    auto solo = soloIpcs(workload, rc, 8 * rc.epochSize);
+
+    std::vector<std::unique_ptr<ResourcePolicy>> policies;
+    policies.push_back(std::make_unique<IcountPolicy>());
+    policies.push_back(std::make_unique<StallPolicy>());
+    policies.push_back(std::make_unique<DgPolicy>());
+    policies.push_back(std::make_unique<PdgPolicy>());
+    policies.push_back(std::make_unique<FlushPolicy>());
+    policies.push_back(std::make_unique<StallFlushPolicy>());
+    policies.push_back(std::make_unique<DcraPolicy>());
+    policies.push_back(std::make_unique<StaticPartitionPolicy>());
+    for (PerfMetric m : {PerfMetric::AvgIpc, PerfMetric::WeightedIpc,
+                         PerfMetric::HarmonicWeightedIpc}) {
+        HillConfig hc;
+        hc.epochSize = rc.epochSize;
+        hc.metric = m;
+        policies.push_back(std::make_unique<HillClimbing>(hc));
+    }
+
+    std::printf("workload %s (%s), %d epochs of %llu cycles\n\n",
+                workload.name.c_str(), workload.group.c_str(), rc.epochs,
+                static_cast<unsigned long long>(rc.epochSize));
+
+    Table t({"policy", "wipc", "avg-ipc", "hmean", "flushed", "mispred"});
+    HillClimbing *hill_wipc = nullptr;
+    std::vector<EpochRecord> hill_epochs;
+    for (auto &p : policies) {
+        RunResult res = runPolicy(workload, *p, rc);
+        t.beginRow();
+        t.cell(p->name());
+        t.cell(res.metric(PerfMetric::WeightedIpc, solo));
+        t.cell(res.metric(PerfMetric::AvgIpc, solo));
+        t.cell(res.metric(PerfMetric::HarmonicWeightedIpc, solo));
+        std::uint64_t flushed = 0, mispred = 0;
+        for (int i = 0; i < workload.numThreads(); ++i) {
+            flushed += res.stats.flushed[i];
+            mispred += res.stats.mispredicts[i];
+        }
+        t.cell(static_cast<std::int64_t>(flushed));
+        t.cell(static_cast<std::int64_t>(mispred));
+        if (p->name() == "HILL-WIPC") {
+            hill_wipc = static_cast<HillClimbing *>(p.get());
+            hill_epochs = res.epochs;
+        }
+    }
+    t.print();
+
+    if (hill_wipc) {
+        std::printf("\nHILL-WIPC partition trajectory "
+                    "(thread-0 share per epoch):\n  ");
+        for (std::size_t e = 0; e < hill_epochs.size(); ++e) {
+            std::printf("%d%s",
+                        hill_epochs[e].partitioned
+                            ? hill_epochs[e].partition.share[0]
+                            : -1,
+                        e + 1 < hill_epochs.size() ? " " : "\n");
+        }
+        std::printf("final anchor: %s\n",
+                    hill_wipc->anchor().str().c_str());
+    }
+    return 0;
+}

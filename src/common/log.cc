@@ -1,0 +1,48 @@
+#include "common/log.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace smthill
+{
+
+namespace
+{
+bool quietMode = false;
+}
+
+void
+setQuiet(bool quiet)
+{
+    quietMode = quiet;
+}
+
+void
+panic(const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    std::abort();
+}
+
+void
+fatal(const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    std::exit(1);
+}
+
+void
+warn(const std::string &msg)
+{
+    if (!quietMode)
+        std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+inform(const std::string &msg)
+{
+    if (!quietMode)
+        std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+} // namespace smthill

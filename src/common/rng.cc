@@ -1,0 +1,101 @@
+#include "common/rng.hh"
+
+#include <cmath>
+
+namespace smthill
+{
+
+namespace
+{
+
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t v, int k)
+{
+    return (v << k) | (v >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t x = seed;
+    s0 = splitmix64(x);
+    s1 = splitmix64(x);
+    if (s0 == 0 && s1 == 0)
+        s1 = 1;
+}
+
+std::uint64_t
+Rng::next()
+{
+    std::uint64_t a = s0;
+    std::uint64_t b = s1;
+    std::uint64_t result = rotl(a + b, 17) + a;
+    b ^= a;
+    s0 = rotl(a, 49) ^ b ^ (b << 21);
+    s1 = rotl(b, 28);
+    return result;
+}
+
+std::uint64_t
+Rng::nextBelow(std::uint64_t bound)
+{
+    // Lemire-style rejection-free reduction is fine here; slight bias
+    // is irrelevant for workload synthesis.
+    return static_cast<std::uint64_t>(
+        (static_cast<__uint128_t>(next()) * bound) >> 64);
+}
+
+std::int64_t
+Rng::nextRange(std::int64_t lo, std::int64_t hi)
+{
+    if (hi <= lo)
+        return lo;
+    std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(nextBelow(span));
+}
+
+double
+Rng::nextDouble()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::chance(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return nextDouble() < p;
+}
+
+int
+Rng::nextGeometric(double p, int max_value)
+{
+    if (p >= 1.0 || max_value <= 1)
+        return 1;
+    if (p <= 0.0)
+        return max_value;
+    double u = nextDouble();
+    // Inverse-CDF of geometric distribution on {1, 2, ...}.
+    int v = 1 + static_cast<int>(std::log1p(-u) / std::log1p(-p));
+    if (v < 1)
+        v = 1;
+    if (v > max_value)
+        v = max_value;
+    return v;
+}
+
+} // namespace smthill

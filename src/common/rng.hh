@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Deterministic, copyable pseudo-random number generation.
+ *
+ * Every stochastic element of the simulator (instruction streams,
+ * memory address selection, RAND-HILL restarts) draws from an Rng
+ * whose entire state is two 64-bit words. Copying an Rng copies the
+ * stream position, which is what makes whole-machine checkpoints
+ * (value copies of SmtCpu) replay identically.
+ */
+
+#ifndef SMTHILL_COMMON_RNG_HH
+#define SMTHILL_COMMON_RNG_HH
+
+#include <cstdint>
+
+namespace smthill
+{
+
+/**
+ * xoroshiro128++ generator with splitmix64 seeding. Value semantics;
+ * 16 bytes of state.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed (expanded via splitmix64). */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** @return next 64 uniformly random bits. */
+    std::uint64_t next();
+
+    /** @return uniform integer in [0, bound); bound must be > 0. */
+    std::uint64_t nextBelow(std::uint64_t bound);
+
+    /** @return uniform integer in [lo, hi] inclusive. */
+    std::int64_t nextRange(std::int64_t lo, std::int64_t hi);
+
+    /** @return uniform double in [0, 1). */
+    double nextDouble();
+
+    /** @return true with probability p (clamped to [0,1]). */
+    bool chance(double p);
+
+    /**
+     * Draw from a (truncated) geometric distribution with success
+     * probability p; result is >= 1. Used for burst lengths.
+     */
+    int nextGeometric(double p, int max_value);
+
+    bool operator==(const Rng &) const = default;
+
+  private:
+    std::uint64_t s0;
+    std::uint64_t s1;
+};
+
+} // namespace smthill
+
+#endif // SMTHILL_COMMON_RNG_HH

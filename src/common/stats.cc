@@ -1,0 +1,144 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace smthill
+{
+
+void
+RunningStat::add(double v)
+{
+    if (n == 0) {
+        lo = v;
+        hi = v;
+    } else {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+    }
+    ++n;
+    total += v;
+    totalSq += v * v;
+}
+
+void
+RunningStat::merge(const RunningStat &other)
+{
+    if (other.n == 0)
+        return;
+    if (n == 0) {
+        *this = other;
+        return;
+    }
+    lo = std::min(lo, other.lo);
+    hi = std::max(hi, other.hi);
+    n += other.n;
+    total += other.total;
+    totalSq += other.totalSq;
+}
+
+void
+RunningStat::reset()
+{
+    *this = RunningStat{};
+}
+
+double
+RunningStat::mean() const
+{
+    return n == 0 ? 0.0 : total / static_cast<double>(n);
+}
+
+double
+RunningStat::min() const
+{
+    return n == 0 ? 0.0 : lo;
+}
+
+double
+RunningStat::max() const
+{
+    return n == 0 ? 0.0 : hi;
+}
+
+double
+RunningStat::stddev() const
+{
+    if (n == 0)
+        return 0.0;
+    double m = mean();
+    double var = totalSq / static_cast<double>(n) - m * m;
+    return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo(lo), hi(hi), counts(buckets, 0)
+{
+    if (buckets < 1 || hi <= lo)
+        fatal("Histogram: invalid range or bucket count");
+}
+
+void
+Histogram::add(double v)
+{
+    double frac = (v - lo) / (hi - lo);
+    auto idx = static_cast<std::int64_t>(
+        frac * static_cast<double>(counts.size()));
+    idx = std::clamp<std::int64_t>(
+        idx, 0, static_cast<std::int64_t>(counts.size()) - 1);
+    ++counts[static_cast<std::size_t>(idx)];
+    ++total;
+}
+
+double
+Histogram::bucketMid(std::size_t i) const
+{
+    double width = (hi - lo) / static_cast<double>(counts.size());
+    return lo + (static_cast<double>(i) + 0.5) * width;
+}
+
+double
+Histogram::quantile(double p) const
+{
+    if (total == 0)
+        return lo;
+    p = std::clamp(p, 0.0, 1.0);
+    auto target = static_cast<std::uint64_t>(
+        p * static_cast<double>(total));
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        seen += counts[i];
+        if (seen > target)
+            return bucketMid(i);
+    }
+    return bucketMid(counts.size() - 1);
+}
+
+double
+meanOf(const std::vector<double> &v)
+{
+    if (v.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double x : v)
+        s += x;
+    return s / static_cast<double>(v.size());
+}
+
+double
+geomeanOf(const std::vector<double> &v)
+{
+    if (v.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double x : v) {
+        if (x <= 0.0)
+            return 0.0;
+        s += std::log(x);
+    }
+    return std::exp(s / static_cast<double>(v.size()));
+}
+
+} // namespace smthill

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Small statistics helpers: running means, min/max trackers, and
+ * simple fixed-bucket histograms used by the analysis benches.
+ */
+
+#ifndef SMTHILL_COMMON_STATS_HH
+#define SMTHILL_COMMON_STATS_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace smthill
+{
+
+/**
+ * Accumulates a stream of doubles and reports count / mean / min /
+ * max / (population) standard deviation.
+ */
+class RunningStat
+{
+  public:
+    /** Add one sample. */
+    void add(double v);
+
+    /** Merge another accumulator's samples into this one. */
+    void merge(const RunningStat &other);
+
+    /** Discard all samples. */
+    void reset();
+
+    std::uint64_t count() const { return n; }
+    double sum() const { return total; }
+    double mean() const;
+    double min() const;
+    double max() const;
+    double stddev() const;
+
+  private:
+    std::uint64_t n = 0;
+    double total = 0.0;
+    double totalSq = 0.0;
+    double lo = 0.0;
+    double hi = 0.0;
+};
+
+/**
+ * Histogram over [lo, hi) with a fixed number of equal-width buckets;
+ * out-of-range samples clamp into the end buckets.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param lo lower bound of the tracked range
+     * @param hi upper bound of the tracked range (must exceed lo)
+     * @param buckets number of buckets (must be >= 1)
+     */
+    Histogram(double lo, double hi, std::size_t buckets);
+
+    /** Add one sample. */
+    void add(double v);
+
+    std::uint64_t bucketCount(std::size_t i) const { return counts.at(i); }
+    std::size_t numBuckets() const { return counts.size(); }
+    std::uint64_t totalCount() const { return total; }
+
+    /** @return midpoint value of bucket i. */
+    double bucketMid(std::size_t i) const;
+
+    /** @return the p-quantile (p in [0,1]) estimated from buckets. */
+    double quantile(double p) const;
+
+  private:
+    double lo;
+    double hi;
+    std::vector<std::uint64_t> counts;
+    std::uint64_t total = 0;
+};
+
+/** @return arithmetic mean of a vector (0 when empty). */
+double meanOf(const std::vector<double> &v);
+
+/** @return geometric mean of a vector of positive values (0 if empty). */
+double geomeanOf(const std::vector<double> &v);
+
+} // namespace smthill
+
+#endif // SMTHILL_COMMON_STATS_HH

@@ -1,0 +1,140 @@
+#include "core/hill_climbing.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace smthill
+{
+
+HillClimbing::HillClimbing(HillConfig config) : cfg(config)
+{
+    if (cfg.delta < 1)
+        fatal("HillClimbing: delta must be >= 1");
+    if (cfg.epochSize < 1)
+        fatal("HillClimbing: epoch size must be >= 1");
+    singleIpcEst.fill(0.0);
+}
+
+std::string
+HillClimbing::name() const
+{
+    switch (cfg.metric) {
+      case PerfMetric::AvgIpc:
+        return "HILL-IPC";
+      case PerfMetric::WeightedIpc:
+        return "HILL-WIPC";
+      case PerfMetric::HarmonicWeightedIpc:
+        return "HILL-HWIPC";
+    }
+    return "HILL";
+}
+
+void
+HillClimbing::attach(SmtCpu &cpu)
+{
+    int nt = cpu.numThreads();
+    // In the very first round the anchor defaults to an equal
+    // partition for every thread (Figure 8, footnote).
+    anchorPartition = Partition::equal(nt, cpu.config().intRegs);
+    roundPerf.fill(0.0);
+    lastCommitted = cpu.stats().committed;
+    algEpoch = 0;
+    epochsSinceSample = 0;
+    sampleRotation = 0;
+    samplingThread = -1;
+    for (int i = 0; i < nt; ++i)
+        cpu.setFetchLocked(static_cast<ThreadId>(i), false);
+    installTrial(cpu);
+}
+
+IpcSample
+HillClimbing::measureEpoch(const SmtCpu &cpu)
+{
+    IpcSample s;
+    s.numThreads = cpu.numThreads();
+    const auto &committed = cpu.stats().committed;
+    for (int i = 0; i < s.numThreads; ++i) {
+        s.ipc[i] = static_cast<double>(committed[i] - lastCommitted[i]) /
+                   static_cast<double>(cfg.epochSize);
+    }
+    return s;
+}
+
+void
+HillClimbing::installTrial(SmtCpu &cpu)
+{
+    int nt = cpu.numThreads();
+    int favored = static_cast<int>(algEpoch % nt);
+    Partition trial =
+        trialPartition(anchorPartition, favored, cfg.delta, cfg.minShare);
+    cpu.setPartition(trial);
+}
+
+void
+HillClimbing::epoch(SmtCpu &cpu, std::uint64_t)
+{
+    int nt = cpu.numThreads();
+    IpcSample sample = measureEpoch(cpu);
+    lastCommitted = cpu.stats().committed;
+
+    if (samplingThread >= 0) {
+        // The epoch that just ended ran samplingThread solo; its IPC
+        // is the thread's stand-alone IPC estimate. Resume normal
+        // multithreaded execution without consuming a learning epoch.
+        singleIpcEst[samplingThread] = sample.ipc[samplingThread];
+        for (int i = 0; i < nt; ++i)
+            cpu.setThreadEnabled(static_cast<ThreadId>(i), true);
+        samplingThread = -1;
+        installTrial(cpu);
+        cpu.stallUntil(cpu.now() + cfg.softwareCost);
+        return;
+    }
+
+    // Figure 8 line 7: record the performance of the previous epoch.
+    roundPerf[algEpoch % nt] = evalMetric(cfg.metric, sample, singleIpcEst);
+
+    // Figure 8 lines 8-15: at the end of a round, move the anchor in
+    // favor of the best-performing trial (the positive gradient).
+    if (algEpoch % nt == static_cast<std::uint64_t>(nt - 1)) {
+        int gradient_thread = 0;
+        for (int i = 1; i < nt; ++i)
+            if (roundPerf[i] > roundPerf[gradient_thread])
+                gradient_thread = i;
+        Partition next = moveAnchor(anchorPartition, gradient_thread,
+                                    cfg.delta, cfg.minShare);
+        anchorPartition = overrideAnchor(cpu, next);
+    }
+
+    ++algEpoch;
+
+    // SingleIPC sampling (Section 4.2): every samplePeriod epochs,
+    // run one thread solo for the next epoch. Only the weighted
+    // metrics need stand-alone IPCs.
+    bool needs_single = cfg.metric != PerfMetric::AvgIpc;
+    if (cfg.sampleSingleIpc && needs_single && nt > 1 &&
+        ++epochsSinceSample >= cfg.samplePeriod) {
+        epochsSinceSample = 0;
+        samplingThread = sampleRotation;
+        sampleRotation = (sampleRotation + 1) % nt;
+        for (int i = 0; i < nt; ++i)
+            cpu.setThreadEnabled(static_cast<ThreadId>(i),
+                                 i == samplingThread);
+        // The solo thread gets the whole machine during the sample.
+        cpu.clearPartition();
+    } else {
+        // Figure 8 lines 16-21: install the next trial partition.
+        installTrial(cpu);
+    }
+
+    // Charge the software implementation cost (Section 4.2).
+    cpu.stallUntil(cpu.now() + cfg.softwareCost);
+}
+
+std::unique_ptr<ResourcePolicy>
+HillClimbing::clone() const
+{
+    return std::make_unique<HillClimbing>(*this);
+}
+
+} // namespace smthill

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * The paper's contribution: on-line hill-climbing SMT resource
+ * distribution (Section 4, Figure 8).
+ *
+ * Execution is divided into epochs (64K cycles). Learning proceeds in
+ * rounds of T epochs: in epoch k of a round, the trial partition
+ * shifts Delta unit resources to thread k from every other thread,
+ * relative to the current anchor partition. At the end of a round the
+ * anchor moves along the positive gradient — in favor of the thread
+ * whose trial epoch performed best. The performance feedback metric
+ * is configurable (average IPC, weighted IPC, or harmonic mean of
+ * weighted IPC); the weighted metrics learn each thread's stand-alone
+ * IPC on-line by periodically running the thread solo for one epoch
+ * (Section 4.2). Every epoch boundary charges the software cost of
+ * running the algorithm by stalling the machine (200 cycles).
+ */
+
+#ifndef SMTHILL_CORE_HILL_CLIMBING_HH
+#define SMTHILL_CORE_HILL_CLIMBING_HH
+
+#include <array>
+#include <cstdint>
+
+#include "core/metrics.hh"
+#include "core/partitioning.hh"
+#include "policy/policy.hh"
+
+namespace smthill
+{
+
+/** Tunables of the hill-climbing learner (defaults = the paper's). */
+struct HillConfig
+{
+    Cycle epochSize = 64 * 1024;  ///< cycles per epoch
+    int delta = 4;                ///< registers shifted per sample
+    PerfMetric metric = PerfMetric::WeightedIpc;
+    Cycle softwareCost = 200;     ///< machine stall per epoch boundary
+    int minShare = 4;             ///< floor on any thread's share
+
+    /**
+     * Epochs between SingleIPC samples; each thread is sampled once
+     * every samplePeriod * T epochs (Section 4.2 uses 40).
+     */
+    int samplePeriod = 40;
+
+    /** Disable solo sampling (only sane for the AvgIpc metric). */
+    bool sampleSingleIpc = true;
+};
+
+/** The HILL resource-distribution policy. */
+class HillClimbing : public ResourcePolicy
+{
+  public:
+    explicit HillClimbing(HillConfig config = HillConfig{});
+
+    std::string name() const override;
+    void attach(SmtCpu &cpu) override;
+    void epoch(SmtCpu &cpu, std::uint64_t epoch_id) override;
+    std::unique_ptr<ResourcePolicy> clone() const override;
+
+    const HillConfig &config() const { return cfg; }
+
+    /** @return the current best-known partition (the anchor). */
+    const Partition &anchor() const { return anchorPartition; }
+
+    /** @return current stand-alone IPC estimates. */
+    const std::array<double, kMaxThreads> &singleIpc() const
+    {
+        return singleIpcEst;
+    }
+
+    /** @return true while a solo-sampling epoch is in flight. */
+    bool samplingActive() const { return samplingThread >= 0; }
+
+  protected:
+    /**
+     * Hook for extensions (Section 5 phase-based learning), invoked
+     * after the normal hill step has chosen the next anchor; the
+     * returned partition replaces it.
+     */
+    virtual Partition overrideAnchor(SmtCpu &, Partition next)
+    {
+        return next;
+    }
+
+    /** Measure per-thread IPCs of the epoch that just ended. */
+    IpcSample measureEpoch(const SmtCpu &cpu);
+
+    /** Install the trial partition for the upcoming epoch. */
+    void installTrial(SmtCpu &cpu);
+
+    HillConfig cfg;
+    Partition anchorPartition;
+    std::array<double, kMaxThreads> roundPerf{};
+    std::array<double, kMaxThreads> singleIpcEst{};
+    std::array<std::uint64_t, kMaxThreads> lastCommitted{};
+    std::uint64_t algEpoch = 0;   ///< epochs consumed by learning
+    int epochsSinceSample = 0;
+    int sampleRotation = 0;       ///< next thread to sample
+    int samplingThread = -1;      ///< thread running solo, or -1
+};
+
+} // namespace smthill
+
+#endif // SMTHILL_CORE_HILL_CLIMBING_HH

@@ -1,0 +1,59 @@
+#include "core/hill_width.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace smthill
+{
+
+double
+hillWidth(const std::vector<int> &shares, const std::vector<double> &curve,
+          double level)
+{
+    if (shares.size() != curve.size())
+        fatal("hillWidth: shares/curve length mismatch");
+    if (curve.empty())
+        return 0.0;
+
+    std::size_t peak = 0;
+    for (std::size_t i = 1; i < curve.size(); ++i)
+        if (curve[i] > curve[peak])
+            peak = i;
+    double threshold = curve[peak] * level;
+
+    std::size_t lo = peak;
+    while (lo > 0 && curve[lo - 1] >= threshold)
+        --lo;
+    std::size_t hi = peak;
+    while (hi + 1 < curve.size() && curve[hi + 1] >= threshold)
+        ++hi;
+
+    if (lo == hi) {
+        // Single point above threshold: width is one enumeration
+        // step (or 1 unit for a single-sample curve).
+        if (curve.size() > 1) {
+            std::size_t next = std::min(peak + 1, curve.size() - 1);
+            std::size_t prev = peak > 0 ? peak - 1 : 0;
+            return static_cast<double>(
+                std::max(1, (shares[next] - shares[prev]) / 2));
+        }
+        return 1.0;
+    }
+    return static_cast<double>(shares[hi] - shares[lo]);
+}
+
+HillWidthProfile
+hillWidthProfile(const std::vector<int> &shares,
+                 const std::vector<double> &curve)
+{
+    HillWidthProfile p;
+    p.w99 = hillWidth(shares, curve, 0.99);
+    p.w98 = hillWidth(shares, curve, 0.98);
+    p.w97 = hillWidth(shares, curve, 0.97);
+    p.w95 = hillWidth(shares, curve, 0.95);
+    p.w90 = hillWidth(shares, curve, 0.90);
+    return p;
+}
+
+} // namespace smthill

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Hill-width analysis (Section 3.3.1, Figures 6 and 7): given a
+ * metric-vs-partitioning curve from an OFF-LINE epoch, hill-width_N
+ * is the width (in unit resources) of the contiguous region around
+ * the maximal peak whose performance stays at or above N times the
+ * peak. Small widths at high N mean a sharp peak — a workload whose
+ * performance is sensitive to the exact partitioning.
+ */
+
+#ifndef SMTHILL_CORE_HILL_WIDTH_HH
+#define SMTHILL_CORE_HILL_WIDTH_HH
+
+#include <vector>
+
+namespace smthill
+{
+
+/**
+ * Compute hill-width_N for one curve.
+ * @param shares trial partition shares (thread 0), ascending
+ * @param curve metric value per trial (same length as shares)
+ * @param level N in [0, 1]
+ * @return width in unit resources (0 for empty input)
+ */
+double hillWidth(const std::vector<int> &shares,
+                 const std::vector<double> &curve, double level);
+
+/** Hill-width at the standard levels the paper reports. */
+struct HillWidthProfile
+{
+    double w99 = 0.0;
+    double w98 = 0.0;
+    double w97 = 0.0;
+    double w95 = 0.0;
+    double w90 = 0.0;
+};
+
+/** Compute all standard hill-width levels for one curve. */
+HillWidthProfile hillWidthProfile(const std::vector<int> &shares,
+                                  const std::vector<double> &curve);
+
+} // namespace smthill
+
+#endif // SMTHILL_CORE_HILL_WIDTH_HH

@@ -1,0 +1,68 @@
+#include "core/metrics.hh"
+
+namespace smthill
+{
+
+const char *
+metricName(PerfMetric metric)
+{
+    switch (metric) {
+      case PerfMetric::AvgIpc:
+        return "IPC";
+      case PerfMetric::WeightedIpc:
+        return "WIPC";
+      case PerfMetric::HarmonicWeightedIpc:
+        return "HWIPC";
+    }
+    return "?";
+}
+
+double
+evalMetric(PerfMetric metric, const IpcSample &sample,
+           const std::array<double, kMaxThreads> &single_ipc)
+{
+    int nt = sample.numThreads;
+    if (nt <= 0)
+        return 0.0;
+
+    auto solo = [&](int i) {
+        double s = single_ipc[i];
+        return s > 0.0 ? s : 1.0;
+    };
+
+    switch (metric) {
+      case PerfMetric::AvgIpc: {
+        double sum = 0.0;
+        for (int i = 0; i < nt; ++i)
+            sum += sample.ipc[i];
+        return sum;
+      }
+      case PerfMetric::WeightedIpc: {
+        double sum = 0.0;
+        for (int i = 0; i < nt; ++i)
+            sum += sample.ipc[i] / solo(i);
+        return sum / nt;
+      }
+      case PerfMetric::HarmonicWeightedIpc: {
+        double denom = 0.0;
+        for (int i = 0; i < nt; ++i) {
+            double ipc = sample.ipc[i];
+            if (ipc <= 0.0)
+                return 0.0; // a starved thread zeroes the harmonic mean
+            denom += solo(i) / ipc;
+        }
+        return static_cast<double>(nt) / denom;
+      }
+    }
+    return 0.0;
+}
+
+double
+evalMetric(PerfMetric metric, const IpcSample &sample)
+{
+    std::array<double, kMaxThreads> ones;
+    ones.fill(1.0);
+    return evalMetric(metric, sample, ones);
+}
+
+} // namespace smthill

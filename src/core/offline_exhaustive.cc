@@ -1,0 +1,93 @@
+#include "core/offline_exhaustive.hh"
+
+#include "common/log.hh"
+
+namespace smthill
+{
+
+IpcSample
+runFixedPartitionEpoch(const SmtCpu &checkpoint, const Partition &partition,
+                       Cycle epoch_size, SmtCpu *advanced)
+{
+    SmtCpu trial = checkpoint;
+    trial.setPartition(partition);
+    auto before = trial.stats().committed;
+    trial.run(epoch_size);
+
+    IpcSample s;
+    s.numThreads = trial.numThreads();
+    for (int i = 0; i < s.numThreads; ++i) {
+        s.ipc[i] =
+            static_cast<double>(trial.stats().committed[i] - before[i]) /
+            static_cast<double>(epoch_size);
+    }
+    if (advanced)
+        *advanced = std::move(trial);
+    return s;
+}
+
+double
+OfflineResult::meanMetric() const
+{
+    if (epochs.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const auto &e : epochs)
+        sum += e.metricValue;
+    return sum / static_cast<double>(epochs.size());
+}
+
+OfflineExhaustive::OfflineExhaustive(OfflineConfig config) : cfg(config)
+{
+    if (cfg.stride < 1)
+        fatal("OfflineExhaustive: stride must be >= 1");
+}
+
+OfflineEpoch
+OfflineExhaustive::stepEpoch(SmtCpu &cpu) const
+{
+    if (cpu.numThreads() != 2)
+        fatal("OfflineExhaustive: exhaustive search supports exactly "
+              "2 hardware contexts (use RandHill for more)");
+
+    const SmtCpu checkpoint = cpu;
+    const int total = cpu.config().intRegs;
+
+    OfflineEpoch rec;
+    double best_metric = -1.0;
+    Partition best;
+    IpcSample best_ipc;
+
+    for (const Partition &p : enumeratePartitions2(total, cfg.stride)) {
+        IpcSample s = runFixedPartitionEpoch(checkpoint, p, cfg.epochSize);
+        double m = evalMetric(cfg.metric, s, cfg.singleIpc);
+        if (cfg.keepCurves) {
+            rec.curveShares.push_back(p.share[0]);
+            rec.curve.push_back(m);
+        }
+        if (m > best_metric) {
+            best_metric = m;
+            best = p;
+            best_ipc = s;
+        }
+    }
+
+    // Commit: advance the real machine through the best trial. Only
+    // this epoch is charged to execution time.
+    rec.ipc = runFixedPartitionEpoch(checkpoint, best, cfg.epochSize, &cpu);
+    rec.best = best;
+    rec.metricValue = best_metric;
+    return rec;
+}
+
+OfflineResult
+OfflineExhaustive::run(SmtCpu &cpu, int num_epochs) const
+{
+    OfflineResult res;
+    res.epochs.reserve(num_epochs);
+    for (int e = 0; e < num_epochs; ++e)
+        res.epochs.push_back(stepEpoch(cpu));
+    return res;
+}
+
+} // namespace smthill

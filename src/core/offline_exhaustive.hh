@@ -1,0 +1,94 @@
+/**
+ * @file
+ * OFF-LINE exhaustive learning (Section 3.1): the ideal learner used
+ * for the limit study. At each epoch boundary the whole machine is
+ * checkpointed; every enumerated partitioning of the integer rename
+ * registers is tried for one epoch from the checkpoint; the best
+ * trial's partitioning is then used to advance the machine, and only
+ * that epoch is charged to execution time.
+ *
+ * Restricted to 2 hardware contexts, like the paper (the exhaustive
+ * trial count is exponential in the thread count).
+ */
+
+#ifndef SMTHILL_CORE_OFFLINE_EXHAUSTIVE_HH
+#define SMTHILL_CORE_OFFLINE_EXHAUSTIVE_HH
+
+#include <array>
+#include <vector>
+
+#include "core/metrics.hh"
+#include "core/partitioning.hh"
+#include "pipeline/cpu.hh"
+
+namespace smthill
+{
+
+/**
+ * Run one epoch from a copy of @p checkpoint under a fixed
+ * @p partition, with no per-cycle policy actions.
+ * @param[out] advanced if non-null, receives the machine state at
+ *             the end of the epoch (for committing to this trial)
+ * @return per-thread IPCs over the epoch
+ */
+IpcSample runFixedPartitionEpoch(const SmtCpu &checkpoint,
+                                 const Partition &partition,
+                                 Cycle epoch_size,
+                                 SmtCpu *advanced = nullptr);
+
+/** OFF-LINE configuration. */
+struct OfflineConfig
+{
+    Cycle epochSize = 64 * 1024;
+    int stride = 2;  ///< enumeration step (2 = the paper's 127 trials)
+    PerfMetric metric = PerfMetric::WeightedIpc;
+    /** Stand-alone IPCs (known a priori in the off-line setting). */
+    std::array<double, kMaxThreads> singleIpc{};
+    bool keepCurves = false; ///< retain metric-vs-partition curves
+};
+
+/** Record of one committed epoch. */
+struct OfflineEpoch
+{
+    Partition best;        ///< chosen (best) partitioning
+    IpcSample ipc;         ///< per-thread IPCs of the committed epoch
+    double metricValue = 0.0;
+    /** share of thread 0 for each trial (when keepCurves). */
+    std::vector<int> curveShares;
+    /** metric of each trial (when keepCurves). */
+    std::vector<double> curve;
+};
+
+/** Result of an OFF-LINE run. */
+struct OfflineResult
+{
+    std::vector<OfflineEpoch> epochs;
+
+    /** @return mean metric value across committed epochs. */
+    double meanMetric() const;
+};
+
+/** The OFF-LINE exhaustive learner. */
+class OfflineExhaustive
+{
+  public:
+    explicit OfflineExhaustive(OfflineConfig config = OfflineConfig{});
+
+    /**
+     * Checkpoint @p cpu, exhaustively evaluate one epoch, then
+     * advance @p cpu through that epoch under the best partitioning.
+     */
+    OfflineEpoch stepEpoch(SmtCpu &cpu) const;
+
+    /** Run @p num_epochs epochs, advancing @p cpu along the way. */
+    OfflineResult run(SmtCpu &cpu, int num_epochs) const;
+
+    const OfflineConfig &config() const { return cfg; }
+
+  private:
+    OfflineConfig cfg;
+};
+
+} // namespace smthill
+
+#endif // SMTHILL_CORE_OFFLINE_EXHAUSTIVE_HH

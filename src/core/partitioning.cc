@@ -1,0 +1,64 @@
+#include "core/partitioning.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace smthill
+{
+
+std::vector<Partition> enumeratePartitions2(int total, int stride)
+{
+    if (stride < 1 || total < 2 * stride)
+        fatal("enumeratePartitions2: bad stride/total");
+    std::vector<Partition> out;
+    for (int a = stride; a <= total - stride; a += stride) {
+        Partition p;
+        p.numThreads = 2;
+        p.share[0] = a;
+        p.share[1] = total - a;
+        out.push_back(p);
+    }
+    return out;
+}
+
+namespace
+{
+
+/** Shift delta units from every thread but @p favored to it. */
+Partition
+shiftToward(const Partition &anchor, int favored, int delta,
+            int min_share)
+{
+    Partition p = anchor;
+    int nt = p.numThreads;
+    int gained = 0;
+    for (int i = 0; i < nt; ++i) {
+        if (i == favored)
+            continue;
+        // Never push a donor below the floor; give what it can.
+        int give = std::min(delta, std::max(0, p.share[i] - min_share));
+        p.share[i] -= give;
+        gained += give;
+    }
+    p.share[favored] += gained;
+    return p;
+}
+
+} // namespace
+
+Partition
+trialPartition(const Partition &anchor, int favored, int delta,
+               int min_share)
+{
+    return shiftToward(anchor, favored, delta, min_share);
+}
+
+Partition
+moveAnchor(const Partition &anchor, int gradient_thread, int delta,
+           int min_share)
+{
+    return shiftToward(anchor, gradient_thread, delta, min_share);
+}
+
+} // namespace smthill

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Helpers over the resource-partition search space: exhaustive
+ * enumeration for the 2-thread limit study (Section 3.2 samples
+ * every other partitioning of the 256 integer rename registers,
+ * giving 127 trials), and the hill-climbing trial/anchor moves of
+ * Figure 8.
+ */
+
+#ifndef SMTHILL_CORE_PARTITIONING_HH
+#define SMTHILL_CORE_PARTITIONING_HH
+
+#include <vector>
+
+#include "pipeline/resources.hh"
+
+namespace smthill
+{
+
+/**
+ * Enumerate 2-thread partitionings of @p total unit resources with
+ * shares stepping by @p stride; both shares are kept >= stride.
+ * stride == 2 reproduces the paper's 127 trials for 256 registers.
+ */
+std::vector<Partition> enumeratePartitions2(int total, int stride);
+
+/**
+ * Figure 8 lines 17-21: the trial partition that shifts Delta units
+ * to @p favored from every other thread. Shares are clamped so no
+ * thread drops below @p min_share and the total is preserved.
+ */
+Partition trialPartition(const Partition &anchor, int favored, int delta,
+                         int min_share);
+
+/**
+ * Figure 8 lines 10-14: move the anchor along the positive gradient,
+ * in favor of @p gradient_thread. Same clamping as trialPartition.
+ */
+Partition moveAnchor(const Partition &anchor, int gradient_thread,
+                     int delta, int min_share);
+
+} // namespace smthill
+
+#endif // SMTHILL_CORE_PARTITIONING_HH

@@ -1,0 +1,115 @@
+#include "core/rand_hill.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace smthill
+{
+
+RandHill::RandHill(RandHillConfig config) : cfg(config), rng(cfg.seed)
+{
+    if (cfg.iterations < 1)
+        fatal("RandHill: need at least one iteration");
+    if (cfg.delta < 1)
+        fatal("RandHill: delta must be >= 1");
+}
+
+Partition
+RandHill::randomPartition(int threads, int total)
+{
+    // Draw raw weights, then scale onto the simplex with a floor.
+    std::array<double, kMaxThreads> w{};
+    double sum = 0.0;
+    for (int i = 0; i < threads; ++i) {
+        w[i] = 0.05 + rng.nextDouble();
+        sum += w[i];
+    }
+    Partition p;
+    p.numThreads = threads;
+    int assigned = 0;
+    for (int i = 0; i < threads; ++i) {
+        int share = std::max(
+            cfg.minShare, static_cast<int>(w[i] / sum * total));
+        p.share[i] = share;
+        assigned += share;
+    }
+    // Repair the total by adjusting the largest share.
+    int richest = 0;
+    for (int i = 1; i < threads; ++i)
+        if (p.share[i] > p.share[richest])
+            richest = i;
+    p.share[richest] += total - assigned;
+    if (p.share[richest] < cfg.minShare)
+        return Partition::equal(threads, total);
+    return p;
+}
+
+OfflineEpoch
+RandHill::stepEpoch(SmtCpu &cpu)
+{
+    const SmtCpu checkpoint = cpu;
+    const int nt = cpu.numThreads();
+    const int total = cpu.config().intRegs;
+
+    Partition anchor = Partition::equal(nt, total);
+    std::array<double, kMaxThreads> round_perf{};
+    double pass_best = -1.0;
+
+    double global_best_metric = -1.0;
+    Partition global_best = anchor;
+    IpcSample global_best_ipc;
+
+    for (int iter = 0; iter < cfg.iterations; ++iter) {
+        int favored = iter % nt;
+        Partition trial =
+            trialPartition(anchor, favored, cfg.delta, cfg.minShare);
+        IpcSample s =
+            runFixedPartitionEpoch(checkpoint, trial, cfg.epochSize);
+        double m = evalMetric(cfg.metric, s, cfg.singleIpc);
+        round_perf[favored] = m;
+
+        if (m > global_best_metric) {
+            global_best_metric = m;
+            global_best = trial;
+            global_best_ipc = s;
+        }
+
+        if (favored == nt - 1) {
+            // End of a round: climb, or restart if we are at a peak.
+            int g = 0;
+            for (int i = 1; i < nt; ++i)
+                if (round_perf[i] > round_perf[g])
+                    g = i;
+            if (round_perf[g] <= pass_best) {
+                // No improvement: a (possibly local) peak; restart
+                // from a random point in the distribution space.
+                anchor = randomPartition(nt, total);
+                pass_best = -1.0;
+            } else {
+                pass_best = round_perf[g];
+                anchor =
+                    moveAnchor(anchor, g, cfg.delta, cfg.minShare);
+            }
+        }
+    }
+
+    OfflineEpoch rec;
+    rec.ipc = runFixedPartitionEpoch(checkpoint, global_best,
+                                     cfg.epochSize, &cpu);
+    rec.best = global_best;
+    rec.metricValue = global_best_metric;
+    return rec;
+}
+
+OfflineResult
+RandHill::run(SmtCpu &cpu, int num_epochs)
+{
+    OfflineResult res;
+    res.epochs.reserve(num_epochs);
+    for (int e = 0; e < num_epochs; ++e)
+        res.epochs.push_back(stepEpoch(cpu));
+    return res;
+}
+
+} // namespace smthill

@@ -1,0 +1,121 @@
+#include "harness/report.hh"
+
+#include <cstdio>
+
+#include "harness/table.hh"
+
+namespace smthill
+{
+
+MachineSnapshot
+MachineSnapshot::capture(const SmtCpu &cpu)
+{
+    MachineSnapshot s;
+    s.cycle = cpu.now();
+    s.stats = cpu.stats();
+    for (int i = 0; i < cpu.numThreads(); ++i) {
+        auto tid = static_cast<ThreadId>(i);
+        s.dl1Misses[i] = cpu.memory().dl1Misses(tid);
+        s.l2Misses[i] = cpu.memory().l2Misses(tid);
+    }
+    return s;
+}
+
+MachineReport
+buildReport(const MachineSnapshot &before, const MachineSnapshot &after,
+            const std::vector<std::string> &labels)
+{
+    MachineReport rep;
+    rep.cycles = after.cycle - before.cycle;
+    if (rep.cycles == 0)
+        return rep;
+
+    std::uint64_t fetched_total = 0;
+    for (int i = 0; i < kMaxThreads; ++i)
+        fetched_total += after.stats.fetched[i] - before.stats.fetched[i];
+
+    std::uint64_t committed_total = 0;
+    for (int i = 0; i < kMaxThreads; ++i) {
+        std::uint64_t committed =
+            after.stats.committed[i] - before.stats.committed[i];
+        std::uint64_t fetched =
+            after.stats.fetched[i] - before.stats.fetched[i];
+        if (committed == 0 && fetched == 0)
+            continue;
+
+        ThreadReport tr;
+        tr.label = static_cast<std::size_t>(i) < labels.size()
+                       ? labels[i]
+                       : "thread" + std::to_string(i);
+        tr.committed = committed;
+        committed_total += committed;
+        tr.ipc = static_cast<double>(committed) /
+                 static_cast<double>(rep.cycles);
+        tr.fetchShare = fetched_total
+                            ? static_cast<double>(fetched) /
+                                  static_cast<double>(fetched_total)
+                            : 0.0;
+        std::uint64_t branches =
+            after.stats.branches[i] - before.stats.branches[i];
+        std::uint64_t mispred =
+            after.stats.mispredicts[i] - before.stats.mispredicts[i];
+        tr.mispredictRate =
+            branches ? static_cast<double>(mispred) /
+                           static_cast<double>(branches)
+                     : 0.0;
+        double kilo_inst = static_cast<double>(committed) / 1000.0;
+        if (kilo_inst > 0) {
+            tr.dl1Mpki = static_cast<double>(after.dl1Misses[i] -
+                                             before.dl1Misses[i]) /
+                         kilo_inst;
+            tr.l2Mpki = static_cast<double>(after.l2Misses[i] -
+                                            before.l2Misses[i]) /
+                        kilo_inst;
+            tr.flushedPerCommit =
+                static_cast<double>(after.stats.flushed[i] -
+                                    before.stats.flushed[i]) /
+                static_cast<double>(committed);
+        }
+        tr.lockedFrac =
+            static_cast<double>(after.stats.partitionLockCycles[i] -
+                                before.stats.partitionLockCycles[i]) /
+            static_cast<double>(rep.cycles);
+        rep.threads.push_back(std::move(tr));
+    }
+    rep.totalIpc = static_cast<double>(committed_total) /
+                   static_cast<double>(rep.cycles);
+    return rep;
+}
+
+MachineReport
+runAndReport(SmtCpu &cpu, Cycle cycles,
+             const std::vector<std::string> &labels)
+{
+    MachineSnapshot before = MachineSnapshot::capture(cpu);
+    cpu.run(cycles);
+    MachineSnapshot after = MachineSnapshot::capture(cpu);
+    return buildReport(before, after, labels);
+}
+
+void
+MachineReport::print() const
+{
+    std::printf("interval: %llu cycles, total IPC %.3f\n",
+                static_cast<unsigned long long>(cycles), totalIpc);
+    Table t({"thread", "ipc", "fetch%", "misp%", "dl1mpki", "l2mpki",
+             "flush/ci", "locked%"});
+    for (const ThreadReport &tr : threads) {
+        t.beginRow();
+        t.cell(tr.label);
+        t.cell(tr.ipc);
+        t.cell(100.0 * tr.fetchShare, 1);
+        t.cell(100.0 * tr.mispredictRate, 2);
+        t.cell(tr.dl1Mpki, 1);
+        t.cell(tr.l2Mpki, 1);
+        t.cell(tr.flushedPerCommit, 3);
+        t.cell(100.0 * tr.lockedFrac, 1);
+    }
+    t.print();
+}
+
+} // namespace smthill

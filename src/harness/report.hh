@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Derived statistics reports: turns raw machine counters into the
+ * per-thread and whole-machine rates an architect actually reads —
+ * IPC, misprediction rate, cache MPKI, flush overhead, fetch shares,
+ * partition-lock time — over a measurement interval bracketed by two
+ * machine snapshots.
+ */
+
+#ifndef SMTHILL_HARNESS_REPORT_HH
+#define SMTHILL_HARNESS_REPORT_HH
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "pipeline/cpu.hh"
+
+namespace smthill
+{
+
+/** Raw counters captured at one instant. */
+struct MachineSnapshot
+{
+    Cycle cycle = 0;
+    CpuStats stats;
+    std::array<std::uint64_t, kMaxThreads> dl1Misses{};
+    std::array<std::uint64_t, kMaxThreads> l2Misses{};
+
+    /** Capture the current counters of @p cpu. */
+    static MachineSnapshot capture(const SmtCpu &cpu);
+};
+
+/** Derived per-thread rates over an interval. */
+struct ThreadReport
+{
+    std::string label;
+    double ipc = 0.0;
+    double fetchShare = 0.0;      ///< of all fetched instructions
+    double mispredictRate = 0.0;  ///< mispredicts / branches
+    double dl1Mpki = 0.0;         ///< DL1 misses / kilo-instruction
+    double l2Mpki = 0.0;          ///< L2 misses / kilo-instruction
+    double flushedPerCommit = 0.0; ///< squashed / committed
+    double lockedFrac = 0.0;      ///< partition-locked fetch cycles
+    std::uint64_t committed = 0;
+};
+
+/** Whole-machine derived report. */
+struct MachineReport
+{
+    Cycle cycles = 0;
+    double totalIpc = 0.0;
+    std::vector<ThreadReport> threads;
+
+    /** Pretty-print to stdout. */
+    void print() const;
+};
+
+/**
+ * Build a report over the interval [@p before, @p after].
+ * @param labels optional per-thread names (benchmark names)
+ */
+MachineReport buildReport(const MachineSnapshot &before,
+                          const MachineSnapshot &after,
+                          const std::vector<std::string> &labels = {});
+
+/** Convenience: snapshot, run @p cycles, report. */
+MachineReport runAndReport(SmtCpu &cpu, Cycle cycles,
+                           const std::vector<std::string> &labels = {});
+
+} // namespace smthill
+
+#endif // SMTHILL_HARNESS_REPORT_HH

@@ -1,0 +1,188 @@
+#include "harness/runner.hh"
+
+#include <cstdlib>
+#include <map>
+
+#include "common/log.hh"
+#include "trace/spec_profiles.hh"
+
+namespace smthill
+{
+
+namespace
+{
+
+/** Key the warm-machine cache on everything that shapes the state. */
+std::string
+machineKey(const Workload &workload, const RunConfig &config)
+{
+    const SmtConfig &m = config.machine;
+    std::string key = workload.name;
+    for (auto v : {static_cast<std::uint64_t>(config.seedSalt),
+                   static_cast<std::uint64_t>(config.warmupCycles),
+                   static_cast<std::uint64_t>(m.intRegs),
+                   static_cast<std::uint64_t>(m.robSize),
+                   static_cast<std::uint64_t>(m.intIqSize),
+                   static_cast<std::uint64_t>(m.lsqSize),
+                   static_cast<std::uint64_t>(m.fetchWidth),
+                   static_cast<std::uint64_t>(m.issueWidth),
+                   static_cast<std::uint64_t>(m.mem.ul2.sizeBytes),
+                   static_cast<std::uint64_t>(m.mem.memFirstChunk),
+                   static_cast<std::uint64_t>(m.memPorts),
+                   static_cast<std::uint64_t>(m.intAddUnits),
+                   static_cast<std::uint64_t>(m.fpRegs),
+                   static_cast<std::uint64_t>(m.mem.dl1.sizeBytes),
+                   static_cast<std::uint64_t>(m.mispredictRedirect)})
+        key += "/" + std::to_string(v);
+    return key;
+}
+
+} // namespace
+
+SmtCpu
+makeCpu(const Workload &workload, const RunConfig &config)
+{
+    // Warming a machine costs millions of cycles; benches build the
+    // same warm machine for every policy, so cache it by value and
+    // hand out copies.
+    static std::map<std::string, SmtCpu> cache;
+    std::string key = machineKey(workload, config);
+    auto it = cache.find(key);
+    if (it != cache.end())
+        return it->second;
+
+    SmtConfig machine = config.machine;
+    machine.numThreads = workload.numThreads();
+    SmtCpu cpu(machine, workload.makeGenerators(config.seedSalt));
+    cpu.run(config.warmupCycles);
+    cache.emplace(key, cpu);
+    return cpu;
+}
+
+IpcSample
+runOneEpoch(SmtCpu &cpu, ResourcePolicy &policy, Cycle epoch_size)
+{
+    auto before = cpu.stats().committed;
+    for (Cycle c = 0; c < epoch_size; ++c) {
+        policy.cycle(cpu);
+        cpu.step();
+    }
+    IpcSample s;
+    s.numThreads = cpu.numThreads();
+    for (int i = 0; i < s.numThreads; ++i) {
+        s.ipc[i] =
+            static_cast<double>(cpu.stats().committed[i] - before[i]) /
+            static_cast<double>(epoch_size);
+    }
+    return s;
+}
+
+RunResult
+runPolicyOn(SmtCpu cpu, ResourcePolicy &policy, int epochs,
+            Cycle epoch_size)
+{
+    RunResult res;
+    res.epochs.reserve(epochs);
+    policy.attach(cpu);
+
+    res.startSnapshot = MachineSnapshot::capture(cpu);
+    auto start_committed = cpu.stats().committed;
+    Cycle start_cycle = cpu.now();
+
+    for (int e = 0; e < epochs; ++e) {
+        EpochRecord rec;
+        rec.partitioned = cpu.partitioningEnabled();
+        if (rec.partitioned)
+            rec.partition = cpu.partition();
+        rec.ipc = runOneEpoch(cpu, policy, epoch_size);
+        res.epochs.push_back(rec);
+        policy.epoch(cpu, static_cast<std::uint64_t>(e));
+    }
+
+    Cycle elapsed = cpu.now() - start_cycle;
+    res.overallIpc.numThreads = cpu.numThreads();
+    for (int i = 0; i < cpu.numThreads(); ++i) {
+        res.overallIpc.ipc[i] =
+            static_cast<double>(cpu.stats().committed[i] -
+                                start_committed[i]) /
+            static_cast<double>(elapsed);
+    }
+    res.stats = cpu.stats();
+    res.finalSnapshot = MachineSnapshot::capture(cpu);
+    return res;
+}
+
+RunResult
+runPolicy(const Workload &workload, ResourcePolicy &policy,
+          const RunConfig &config)
+{
+    return runPolicyOn(makeCpu(workload, config), policy, config.epochs,
+                       config.epochSize);
+}
+
+double
+soloIpc(const std::string &benchmark, const RunConfig &config,
+        Cycle cycles)
+{
+    // Process-wide cache: solo IPCs are reused across dozens of
+    // workloads and policies within one bench binary.
+    static std::map<std::string, double> cache;
+    std::string key = benchmark + "@" + std::to_string(cycles) + "/" +
+                      std::to_string(config.seedSalt) + "w" +
+                      std::to_string(config.warmupCycles);
+    auto it = cache.find(key);
+    if (it != cache.end())
+        return it->second;
+
+    SmtConfig machine = config.machine;
+    machine.numThreads = 1;
+    std::vector<StreamGenerator> gens;
+    gens.emplace_back(specProfile(benchmark), config.seedSalt * 131);
+    SmtCpu cpu(machine, std::move(gens));
+    cpu.run(config.warmupCycles);
+    std::uint64_t before = cpu.stats().committed[0];
+    cpu.run(cycles);
+    double ipc = static_cast<double>(cpu.stats().committed[0] - before) /
+                 static_cast<double>(cycles);
+    cache[key] = ipc;
+    return ipc;
+}
+
+std::array<double, kMaxThreads>
+soloIpcs(const Workload &workload, const RunConfig &config, Cycle cycles)
+{
+    std::array<double, kMaxThreads> out{};
+    for (int i = 0; i < workload.numThreads(); ++i)
+        out[i] = soloIpc(workload.benchmarks[i], config, cycles);
+    return out;
+}
+
+std::uint64_t
+envScale(const char *name, std::uint64_t def)
+{
+    const char *v = std::getenv(name);
+    if (!v || !*v)
+        return def;
+    char *end = nullptr;
+    unsigned long long parsed = std::strtoull(v, &end, 10);
+    if (end == v) {
+        warn(msg("ignoring unparsable ", name, "='", v, "'"));
+        return def;
+    }
+    return parsed;
+}
+
+RunConfig
+benchRunConfig(int default_epochs)
+{
+    RunConfig rc;
+    rc.epochs = static_cast<int>(
+        envScale("SMTHILL_EPOCHS", static_cast<std::uint64_t>(
+                                       default_epochs)));
+    rc.epochSize = envScale("SMTHILL_EPOCH_SIZE", rc.epochSize);
+    rc.seedSalt = envScale("SMTHILL_SEED", 0);
+    rc.warmupCycles = envScale("SMTHILL_WARMUP", rc.warmupCycles);
+    return rc;
+}
+
+} // namespace smthill

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Experiment runner: builds machines for workloads, drives a policy
+ * epoch by epoch, gathers per-epoch and end-to-end performance, and
+ * measures/caches stand-alone (solo) IPCs for the weighted metrics.
+ */
+
+#ifndef SMTHILL_HARNESS_RUNNER_HH
+#define SMTHILL_HARNESS_RUNNER_HH
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "core/metrics.hh"
+#include "harness/report.hh"
+#include "pipeline/cpu.hh"
+#include "policy/policy.hh"
+#include "workload/workloads.hh"
+
+namespace smthill
+{
+
+/** Shared experiment parameters. */
+struct RunConfig
+{
+    Cycle epochSize = 64 * 1024;
+    int epochs = 16;
+    std::uint64_t seedSalt = 0;
+
+    /**
+     * Cycles run (unpartitioned, ICOUNT) before measurement begins,
+     * so caches and predictors reach steady state. Plays the role of
+     * the paper's SimPoint fast-forwarding. Low-IPC memory-bound
+     * benchmarks need ~2M cycles before their L2-resident region is
+     * warm; shorter warmups systematically understate solo IPCs and
+     * inflate the weighted metrics.
+     */
+    Cycle warmupCycles = 2 * 1024 * 1024;
+
+    SmtConfig machine; ///< numThreads is overridden per workload
+};
+
+/** Per-epoch observation from a policy run. */
+struct EpochRecord
+{
+    IpcSample ipc;
+    Partition partition;     ///< partition during the epoch (if any)
+    bool partitioned = false;
+};
+
+/** Result of running one policy on one workload. */
+struct RunResult
+{
+    std::vector<EpochRecord> epochs;
+    IpcSample overallIpc;    ///< committed / cycles over the full run
+    CpuStats stats;
+    MachineSnapshot startSnapshot; ///< at measurement start
+    MachineSnapshot finalSnapshot; ///< at measurement end
+
+    /** Derived per-thread rates over the measured interval. */
+    MachineReport report(const std::vector<std::string> &labels = {}) const
+    {
+        return buildReport(startSnapshot, finalSnapshot, labels);
+    }
+
+    /** Evaluate an end-performance metric over the whole run. */
+    double metric(PerfMetric m,
+                  const std::array<double, kMaxThreads> &single_ipc) const
+    {
+        return evalMetric(m, overallIpc, single_ipc);
+    }
+};
+
+/** Build a machine for @p workload using @p config's parameters. */
+SmtCpu makeCpu(const Workload &workload, const RunConfig &config);
+
+/**
+ * Run @p policy on a fresh machine for @p workload.
+ * The policy is attached, cycled every cycle, and given an epoch()
+ * callback at every epoch boundary.
+ */
+RunResult runPolicy(const Workload &workload, ResourcePolicy &policy,
+                    const RunConfig &config);
+
+/** Same, but starting from an existing machine state (moved in). */
+RunResult runPolicyOn(SmtCpu cpu, ResourcePolicy &policy, int epochs,
+                      Cycle epoch_size);
+
+/**
+ * Advance @p cpu by exactly one epoch under @p policy (cycle hooks
+ * only; no epoch() callback). @return per-thread IPCs of the epoch.
+ */
+IpcSample runOneEpoch(SmtCpu &cpu, ResourcePolicy &policy,
+                      Cycle epoch_size);
+
+/**
+ * Stand-alone IPC of @p benchmark on a single-context version of the
+ * machine, measured over @p cycles and cached process-wide.
+ */
+double soloIpc(const std::string &benchmark, const RunConfig &config,
+               Cycle cycles);
+
+/** Solo IPCs for every thread of a workload (cached). */
+std::array<double, kMaxThreads> soloIpcs(const Workload &workload,
+                                         const RunConfig &config,
+                                         Cycle cycles);
+
+/** Read an integer knob from the environment (benches scaling). */
+std::uint64_t envScale(const char *name, std::uint64_t def);
+
+/** Standard bench RunConfig honoring SMTHILL_EPOCHS/EPOCH_SIZE/SEED. */
+RunConfig benchRunConfig(int default_epochs);
+
+} // namespace smthill
+
+#endif // SMTHILL_HARNESS_RUNNER_HH

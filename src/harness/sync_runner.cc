@@ -1,0 +1,97 @@
+#include "harness/sync_runner.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace smthill
+{
+
+double
+SyncResult::offlineWinRate(std::size_t other_index) const
+{
+    const SyncSeries &s = others.at(other_index);
+    if (offline.metric.empty())
+        return 0.0;
+    std::size_t n = std::min(offline.metric.size(), s.metric.size());
+    std::size_t wins = 0;
+    for (std::size_t i = 0; i < n; ++i)
+        if (offline.metric[i] >= s.metric[i])
+            ++wins;
+    return static_cast<double>(wins) / static_cast<double>(n);
+}
+
+SyncResult
+syncCompareOffline(SmtCpu cpu, const OfflineExhaustive &offline,
+                   const std::vector<ResourcePolicy *> &policies,
+                   int epochs)
+{
+    SyncResult res;
+    res.offline.name = "OFF-LINE";
+    for (ResourcePolicy *p : policies)
+        res.others.push_back(SyncSeries{p->name(), {}});
+
+    const OfflineConfig &oc = offline.config();
+
+    for (int e = 0; e < epochs; ++e) {
+        const SmtCpu checkpoint = cpu;
+
+        // Each policy runs one epoch from the shared checkpoint with
+        // a fresh clone (its steady state re-forms within cycles).
+        for (std::size_t pi = 0; pi < policies.size(); ++pi) {
+            SmtCpu trial = checkpoint;
+            auto policy = policies[pi]->clone();
+            policy->attach(trial);
+            IpcSample s = runOneEpoch(trial, *policy, oc.epochSize);
+            res.others[pi].metric.push_back(
+                evalMetric(oc.metric, s, oc.singleIpc));
+        }
+
+        // Advance the real machine along OFF-LINE's best path.
+        OfflineEpoch rec = offline.stepEpoch(cpu);
+        res.offline.metric.push_back(rec.metricValue);
+    }
+    return res;
+}
+
+std::vector<HillTraceEpoch>
+traceHillVsOffline(SmtCpu cpu, HillClimbing &hill,
+                   const OfflineConfig &offline_config, int epochs)
+{
+    if (cpu.numThreads() != 2)
+        fatal("traceHillVsOffline: 2-thread machines only");
+
+    OfflineConfig oc = offline_config;
+    oc.keepCurves = true;
+    oc.epochSize = hill.config().epochSize;
+    OfflineExhaustive offline(oc);
+
+    std::vector<HillTraceEpoch> out;
+    out.reserve(epochs);
+
+    hill.attach(cpu);
+    for (int e = 0; e < epochs; ++e) {
+        // Exhaustively map the epoch from the checkpoint, without
+        // letting it advance the real machine.
+        SmtCpu probe = cpu;
+        OfflineEpoch best = offline.stepEpoch(probe);
+
+        HillTraceEpoch rec;
+        rec.offlineShare0 = best.best.share[0];
+        rec.offlineMetric = best.metricValue;
+        rec.curveShares = std::move(best.curveShares);
+        rec.curve = std::move(best.curve);
+        rec.hillShare0 =
+            cpu.partitioningEnabled() ? cpu.partition().share[0] : -1;
+
+        // Hill-climbing takes its real epoch.
+        IpcSample s = runOneEpoch(cpu, hill, oc.epochSize);
+        rec.hillMetric = evalMetric(oc.metric, s, oc.singleIpc);
+        hill.epoch(cpu, static_cast<std::uint64_t>(e));
+
+        out.push_back(std::move(rec));
+    }
+    return out;
+}
+
+} // namespace smthill

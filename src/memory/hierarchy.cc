@@ -1,0 +1,61 @@
+#include "memory/hierarchy.hh"
+
+#include "common/log.hh"
+
+namespace smthill
+{
+
+MemoryHierarchy::MemoryHierarchy(const MemoryConfig &config)
+    : cfg(config),
+      il1Cache(cfg.il1),
+      dl1Cache(cfg.dl1),
+      ul2Cache(cfg.ul2)
+{
+}
+
+MemAccessResult
+MemoryHierarchy::instAccess(ThreadId tid, Addr pc)
+{
+    if (tid >= kMaxThreads)
+        panic("instAccess: thread id out of range");
+    MemAccessResult res;
+    if (il1Cache.access(pc, false).hit) {
+        res.latency = cfg.l1Latency;
+        res.level = MemLevel::L1;
+        return res;
+    }
+    if (ul2Cache.access(pc, false).hit) {
+        res.latency = cfg.l1Latency + cfg.l2Latency;
+        res.level = MemLevel::L2;
+        return res;
+    }
+    ++l2MissCount[tid];
+    res.latency = cfg.l1Latency + cfg.l2Latency + memLatency();
+    res.level = MemLevel::Memory;
+    return res;
+}
+
+MemAccessResult
+MemoryHierarchy::dataAccess(ThreadId tid, Addr addr, bool is_write)
+{
+    if (tid >= kMaxThreads)
+        panic("dataAccess: thread id out of range");
+    MemAccessResult res;
+    if (dl1Cache.access(addr, is_write).hit) {
+        res.latency = cfg.l1Latency;
+        res.level = MemLevel::L1;
+        return res;
+    }
+    ++dl1MissCount[tid];
+    if (ul2Cache.access(addr, false).hit) {
+        res.latency = cfg.l1Latency + cfg.l2Latency;
+        res.level = MemLevel::L2;
+        return res;
+    }
+    ++l2MissCount[tid];
+    res.latency = cfg.l1Latency + cfg.l2Latency + memLatency();
+    res.level = MemLevel::Memory;
+    return res;
+}
+
+} // namespace smthill

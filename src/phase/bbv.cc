@@ -1,0 +1,59 @@
+#include "phase/bbv.hh"
+
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace smthill
+{
+
+double
+BbvSignature::distance(const BbvSignature &other) const
+{
+    if (weights.size() != other.weights.size())
+        return 2.0; // maximal distance between unit-normalized vectors
+    double d = 0.0;
+    for (std::size_t i = 0; i < weights.size(); ++i)
+        d += std::abs(weights[i] - other.weights[i]);
+    return d;
+}
+
+BbvAccumulator::BbvAccumulator(int num_threads)
+    : numThreads(num_threads),
+      counts(static_cast<std::size_t>(num_threads) * kBbvEntries, 0)
+{
+    if (num_threads < 1 || num_threads > kMaxThreads)
+        fatal("BbvAccumulator: bad thread count");
+}
+
+void
+BbvAccumulator::record(ThreadId tid, std::uint32_t block_id,
+                       std::uint32_t insts)
+{
+    // Hash the block id into the 64-entry vector.
+    std::uint32_t h = block_id;
+    h ^= h >> 16;
+    h *= 0x85ebca6bu;
+    h ^= h >> 13;
+    std::size_t idx = static_cast<std::size_t>(tid) * kBbvEntries +
+                      (h & (kBbvEntries - 1));
+    counts[idx] += insts;
+    total += insts;
+}
+
+BbvSignature
+BbvAccumulator::harvest()
+{
+    BbvSignature sig;
+    sig.weights.resize(counts.size(), 0.0);
+    if (total > 0) {
+        for (std::size_t i = 0; i < counts.size(); ++i)
+            sig.weights[i] = static_cast<double>(counts[i]) /
+                             static_cast<double>(total);
+    }
+    std::fill(counts.begin(), counts.end(), 0);
+    total = 0;
+    return sig;
+}
+
+} // namespace smthill

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Basic Block Vector signatures (Sherwood et al., PACT 2001),
+ * Section 5: one 64-entry vector per SMT context accumulates, per
+ * epoch, the number of instructions executed in each (hashed) basic
+ * block. Normalized vectors are compared by Manhattan distance to
+ * detect recurring phases.
+ */
+
+#ifndef SMTHILL_PHASE_BBV_HH
+#define SMTHILL_PHASE_BBV_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "memory/hierarchy.hh" // kMaxThreads
+
+namespace smthill
+{
+
+/** Entries per context in the BBV (the paper uses 64). */
+inline constexpr int kBbvEntries = 64;
+
+/** A normalized multi-context BBV signature. */
+struct BbvSignature
+{
+    /** numThreads * kBbvEntries weights, normalized to sum 1. */
+    std::vector<double> weights;
+
+    /** @return Manhattan (L1) distance to another signature. */
+    double distance(const BbvSignature &other) const;
+};
+
+/** Accumulates block execution counts during an epoch. */
+class BbvAccumulator
+{
+  public:
+    explicit BbvAccumulator(int num_threads);
+
+    /** Credit @p insts instructions to block @p block_id of @p tid. */
+    void record(ThreadId tid, std::uint32_t block_id,
+                std::uint32_t insts);
+
+    /** Extract the normalized signature and reset the counters. */
+    BbvSignature harvest();
+
+    /** Instructions accumulated since the last harvest. */
+    std::uint64_t accumulated() const { return total; }
+
+  private:
+    int numThreads;
+    std::vector<std::uint64_t> counts; ///< numThreads * kBbvEntries
+    std::uint64_t total = 0;
+};
+
+} // namespace smthill
+
+#endif // SMTHILL_PHASE_BBV_HH

@@ -1,0 +1,76 @@
+#include "phase/markov_predictor.hh"
+
+#include "common/log.hh"
+
+namespace smthill
+{
+
+MarkovPhasePredictor::MarkovPhasePredictor(std::size_t entries)
+    : table(entries)
+{
+    if (entries == 0 || (entries & (entries - 1)) != 0)
+        fatal("MarkovPhasePredictor: entries must be a power of two");
+}
+
+std::size_t
+MarkovPhasePredictor::indexOf(int phase, int run) const
+{
+    std::uint32_t h = static_cast<std::uint32_t>(phase) * 0x9e3779b1u ^
+                      static_cast<std::uint32_t>(run) * 0x85ebca6bu;
+    return h & (table.size() - 1);
+}
+
+std::uint32_t
+MarkovPhasePredictor::tagOf(int phase, int run) const
+{
+    return (static_cast<std::uint32_t>(phase) << 16) ^
+           static_cast<std::uint32_t>(run & 0xffff);
+}
+
+void
+MarkovPhasePredictor::observe(int phase_id)
+{
+    if (curPhase >= 0) {
+        // Score the prediction we made for this epoch.
+        if (lastPrediction >= 0) {
+            ++total;
+            if (lastPrediction == phase_id)
+                ++correct;
+        }
+        if (phase_id != curPhase) {
+            // A run just ended: learn (phase, run-length) -> next.
+            Entry &e = table[indexOf(curPhase, runLength)];
+            e.tag = tagOf(curPhase, runLength);
+            e.next = phase_id;
+            curPhase = phase_id;
+            runLength = 1;
+        } else {
+            ++runLength;
+        }
+    } else {
+        curPhase = phase_id;
+        runLength = 1;
+    }
+    lastPrediction = predict();
+}
+
+int
+MarkovPhasePredictor::predict() const
+{
+    if (curPhase < 0)
+        return 0;
+    const Entry &e = table[indexOf(curPhase, runLength)];
+    if (e.tag == tagOf(curPhase, runLength) && e.next >= 0)
+        return e.next;
+    return curPhase; // last-value fallback
+}
+
+double
+MarkovPhasePredictor::accuracy() const
+{
+    return total == 0
+               ? 0.0
+               : static_cast<double>(correct) / static_cast<double>(total);
+}
+
+} // namespace smthill

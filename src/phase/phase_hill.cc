@@ -1,0 +1,80 @@
+#include "phase/phase_hill.hh"
+
+namespace smthill
+{
+
+PhaseHillClimbing::PhaseHillClimbing(HillConfig config)
+    : HillClimbing(config), bbv(1)
+{
+}
+
+PhaseHillClimbing::PhaseHillClimbing(const PhaseHillClimbing &other) =
+    default;
+
+std::string
+PhaseHillClimbing::name() const
+{
+    return "PHASE-" + HillClimbing::name();
+}
+
+void
+PhaseHillClimbing::branchTrampoline(void *ctx, const CommittedBranch &cb)
+{
+    auto *self = static_cast<PhaseHillClimbing *>(ctx);
+    // Credit the block body plus its terminating branch.
+    self->bbv.record(cb.tid, cb.blockId, cb.blockLength + 1);
+}
+
+void
+PhaseHillClimbing::attach(SmtCpu &cpu)
+{
+    HillClimbing::attach(cpu);
+    bbv = BbvAccumulator(cpu.numThreads());
+    currentPhase = -1;
+    cpu.setBranchObserver(&PhaseHillClimbing::branchTrampoline, this);
+}
+
+void
+PhaseHillClimbing::epoch(SmtCpu &cpu, std::uint64_t epoch_id)
+{
+    // Classify the epoch that just ended, unless it was a solo
+    // SingleIPC sampling epoch (its BBV is unrepresentative).
+    bool was_sampling = samplingActive();
+    BbvSignature sig = bbv.harvest();
+    if (!was_sampling && !sig.weights.empty()) {
+        currentPhase = table.classify(sig);
+        predictor.observe(currentPhase);
+    }
+    HillClimbing::epoch(cpu, epoch_id);
+}
+
+Partition
+PhaseHillClimbing::overrideAnchor(SmtCpu &, Partition next)
+{
+    if (currentPhase < 0)
+        return next;
+
+    // Remember the best partitioning learned for the current phase.
+    learned[currentPhase] = next;
+
+    // If a different, previously learned phase is predicted for the
+    // next epoch, jump straight to its partitioning instead of
+    // climbing toward it from here.
+    int predicted = predictor.predict();
+    if (predicted != currentPhase) {
+        auto it = learned.find(predicted);
+        if (it != learned.end()) {
+            ++reuseCount;
+            return it->second;
+        }
+    }
+    return next;
+}
+
+std::unique_ptr<ResourcePolicy>
+PhaseHillClimbing::clone() const
+{
+    return std::make_unique<PhaseHillClimbing>(*this);
+}
+
+} // namespace smthill

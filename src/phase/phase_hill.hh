@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Phase-based hill climbing (Section 5): hill climbing augmented
+ * with BBV phase detection and an RLE Markov phase predictor. When
+ * the predictor forecasts a previously seen phase for the next
+ * epoch, the learner jumps its anchor to the partitioning it had
+ * learned for that phase instead of re-learning it from scratch,
+ * attacking the finite-learning-time (TL) limitation.
+ */
+
+#ifndef SMTHILL_PHASE_PHASE_HILL_HH
+#define SMTHILL_PHASE_PHASE_HILL_HH
+
+#include <map>
+
+#include "core/hill_climbing.hh"
+#include "phase/bbv.hh"
+#include "phase/markov_predictor.hh"
+#include "phase/phase_table.hh"
+
+namespace smthill
+{
+
+/** Hill climbing with phase-indexed partition reuse. */
+class PhaseHillClimbing : public HillClimbing
+{
+  public:
+    explicit PhaseHillClimbing(HillConfig config = HillConfig{});
+    PhaseHillClimbing(const PhaseHillClimbing &other);
+    PhaseHillClimbing &operator=(const PhaseHillClimbing &) = delete;
+
+    std::string name() const override;
+    void attach(SmtCpu &cpu) override;
+    void epoch(SmtCpu &cpu, std::uint64_t epoch_id) override;
+    std::unique_ptr<ResourcePolicy> clone() const override;
+
+    /** @return distinct phases observed so far. */
+    int phasesSeen() const { return table.size(); }
+
+    /** @return phase-prediction accuracy so far. */
+    double predictionAccuracy() const { return predictor.accuracy(); }
+
+    /** @return how many epochs reused a stored partitioning. */
+    std::uint64_t reuses() const { return reuseCount; }
+
+  protected:
+    Partition overrideAnchor(SmtCpu &cpu, Partition next) override;
+
+  private:
+    static void branchTrampoline(void *ctx, const CommittedBranch &cb);
+
+    BbvAccumulator bbv;
+    PhaseTable table;
+    MarkovPhasePredictor predictor;
+    std::map<int, Partition> learned; ///< phase ID -> best anchor
+    int currentPhase = -1;
+    std::uint64_t reuseCount = 0;
+};
+
+} // namespace smthill
+
+#endif // SMTHILL_PHASE_PHASE_HILL_HH

@@ -1,0 +1,61 @@
+#include "phase/phase_table.hh"
+
+#include "common/log.hh"
+
+namespace smthill
+{
+
+PhaseTable::PhaseTable(int max_phases, double threshold)
+    : maxPhases(max_phases), matchThreshold(threshold)
+{
+    if (max_phases < 1)
+        fatal("PhaseTable: capacity must be positive");
+}
+
+int
+PhaseTable::classify(const BbvSignature &signature)
+{
+    ++useClock;
+
+    Entry *best = nullptr;
+    double best_dist = matchThreshold;
+    for (Entry &e : entries) {
+        double d = e.centroid.distance(signature);
+        if (d < best_dist) {
+            best_dist = d;
+            best = &e;
+        }
+    }
+    if (best) {
+        // Drift the centroid toward the new observation so slowly
+        // evolving phases stay matched.
+        for (std::size_t i = 0; i < best->centroid.weights.size(); ++i) {
+            best->centroid.weights[i] =
+                0.75 * best->centroid.weights[i] +
+                0.25 * signature.weights[i];
+        }
+        best->lastUse = useClock;
+        return best->id;
+    }
+
+    if (static_cast<int>(entries.size()) < maxPhases) {
+        Entry e;
+        e.centroid = signature;
+        e.lastUse = useClock;
+        e.id = nextId++;
+        entries.push_back(std::move(e));
+        return entries.back().id;
+    }
+
+    // Recycle the least recently used phase.
+    std::size_t victim = 0;
+    for (std::size_t i = 1; i < entries.size(); ++i)
+        if (entries[i].lastUse < entries[victim].lastUse)
+            victim = i;
+    entries[victim].centroid = signature;
+    entries[victim].lastUse = useClock;
+    entries[victim].id = nextId++;
+    return entries[victim].id;
+}
+
+} // namespace smthill

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Phase classification: maps BBV signatures to stable phase IDs.
+ * A new signature joins the closest stored phase if its Manhattan
+ * distance is below a threshold; otherwise it founds a new phase
+ * (up to 128 unique IDs, like the paper's predictor; LRU replacement
+ * beyond that).
+ */
+
+#ifndef SMTHILL_PHASE_PHASE_TABLE_HH
+#define SMTHILL_PHASE_PHASE_TABLE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "phase/bbv.hh"
+
+namespace smthill
+{
+
+/** Signature-to-phase-ID classifier. */
+class PhaseTable
+{
+  public:
+    /**
+     * @param max_phases table capacity (paper: 128 unique phase IDs)
+     * @param threshold Manhattan-distance match threshold; normalized
+     *        BBVs differ by at most 2.0
+     */
+    explicit PhaseTable(int max_phases = 128, double threshold = 0.35);
+
+    /**
+     * Classify a signature: @return the ID of the matching phase,
+     * creating (or recycling) an entry when nothing is close enough.
+     * The matched centroid drifts toward the new signature.
+     */
+    int classify(const BbvSignature &signature);
+
+    /** @return number of distinct phases currently stored. */
+    int size() const { return static_cast<int>(entries.size()); }
+
+    double threshold() const { return matchThreshold; }
+
+  private:
+    struct Entry
+    {
+        BbvSignature centroid;
+        std::uint64_t lastUse = 0;
+        int id = 0;
+    };
+
+    int maxPhases;
+    double matchThreshold;
+    std::vector<Entry> entries;
+    std::uint64_t useClock = 0;
+    int nextId = 0;
+};
+
+} // namespace smthill
+
+#endif // SMTHILL_PHASE_PHASE_TABLE_HH

@@ -1,0 +1,744 @@
+#include "pipeline/cpu.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace smthill
+{
+
+namespace
+{
+
+/** Functional-unit pool indices for issue-stage accounting. */
+enum FuPool : int
+{
+    FuIntAdd = 0,
+    FuIntMul,
+    FuMemPort,
+    FuFpAdd,
+    FuFpMul,
+    FuPoolCount
+};
+
+int
+fuPoolOf(OpClass op)
+{
+    switch (op) {
+      case OpClass::IntAlu:
+      case OpClass::Branch:
+        return FuIntAdd;
+      case OpClass::IntMul:
+        return FuIntMul;
+      case OpClass::Load:
+      case OpClass::Store:
+        return FuMemPort;
+      case OpClass::FpAlu:
+        return FuFpAdd;
+      case OpClass::FpMul:
+        return FuFpMul;
+    }
+    return FuIntAdd;
+}
+
+/** @return true if the op allocates an integer rename register. */
+bool
+writesIntReg(OpClass op)
+{
+    return op == OpClass::IntAlu || op == OpClass::IntMul ||
+           op == OpClass::Load;
+}
+
+/** @return true if the op allocates a floating-point rename reg. */
+bool
+writesFpReg(OpClass op)
+{
+    return op == OpClass::FpAlu || op == OpClass::FpMul;
+}
+
+/** @return true if the op dispatches into the integer issue queue. */
+bool
+usesIntIq(OpClass op)
+{
+    return !isFpOp(op);
+}
+
+std::uint64_t
+nextPow2(std::uint64_t v)
+{
+    std::uint64_t p = 1;
+    while (p < v)
+        p <<= 1;
+    return p;
+}
+
+} // namespace
+
+std::uint64_t
+CpuStats::committedTotal() const
+{
+    std::uint64_t sum = 0;
+    for (auto v : committed)
+        sum += v;
+    return sum;
+}
+
+SmtCpu::SmtCpu(const SmtConfig &config, std::vector<StreamGenerator> programs)
+    : cfg(config),
+      mem(config.mem),
+      btb(config.btbEntries, config.btbWays)
+{
+    cfg.validate();
+    if (static_cast<int>(programs.size()) != cfg.numThreads)
+        fatal(msg("SmtCpu: expected ", cfg.numThreads,
+                  " programs, got ", programs.size()));
+
+    std::uint64_t ring_size = nextPow2(
+        static_cast<std::uint64_t>(cfg.robSize) + cfg.ifqSize +
+        cfg.fetchWidth + 8);
+    ringMask = ring_size - 1;
+
+    threads.reserve(programs.size());
+    for (auto &prog : programs) {
+        ThreadState t(std::move(prog));
+        t.ring.resize(ring_size);
+        threads.push_back(std::move(t));
+    }
+    predictors.reserve(cfg.numThreads);
+    for (int i = 0; i < cfg.numThreads; ++i)
+        predictors.emplace_back(cfg.metaEntries, cfg.gshareEntries,
+                                cfg.bimodalEntries);
+
+    curPartition = Partition::equal(cfg.numThreads, cfg.intRegs);
+    limits = deriveLimits(curPartition, cfg);
+}
+
+void
+SmtCpu::setPartition(const Partition &partition)
+{
+    if (partition.numThreads != cfg.numThreads)
+        fatal("setPartition: thread-count mismatch");
+    if (partition.total() > cfg.intRegs)
+        fatal(msg("setPartition: shares sum to ", partition.total(),
+                  " > ", cfg.intRegs, " registers"));
+    curPartition = partition;
+    limits = deriveLimits(partition, cfg);
+    partitionOn = true;
+}
+
+void
+SmtCpu::clearPartition()
+{
+    partitionOn = false;
+}
+
+void
+SmtCpu::setFetchLocked(ThreadId tid, bool locked)
+{
+    threads.at(tid).policyLocked = locked;
+}
+
+bool
+SmtCpu::fetchLocked(ThreadId tid) const
+{
+    return threads.at(tid).policyLocked;
+}
+
+void
+SmtCpu::setThreadEnabled(ThreadId tid, bool enabled)
+{
+    threads.at(tid).enabled = enabled;
+}
+
+bool
+SmtCpu::threadEnabled(ThreadId tid) const
+{
+    return threads.at(tid).enabled;
+}
+
+void
+SmtCpu::stallUntil(Cycle until)
+{
+    stalledUntil = std::max(stalledUntil, until);
+}
+
+void
+SmtCpu::setBranchObserver(BranchObserver fn, void *ctx)
+{
+    branchObserver = fn;
+    branchObserverCtx = ctx;
+}
+
+void
+SmtCpu::setLoadObserver(LoadObserver fn, void *ctx)
+{
+    loadObserver = fn;
+    loadObserverCtx = ctx;
+}
+
+int
+SmtCpu::frontEndCount(ThreadId tid) const
+{
+    return occ.ifq[tid] + occ.intIq[tid] + occ.fpIq[tid];
+}
+
+void
+SmtCpu::step()
+{
+    if (curCycle < stalledUntil) {
+        // The machine is frozen (hill-climbing software cost), but
+        // operations already in flight keep draining.
+        doCompletions();
+        ++curCycle;
+        return;
+    }
+    doCommit();
+    doCompletions();
+    doIssue();
+    doDispatch();
+    doFetch();
+    ++curCycle;
+}
+
+void
+SmtCpu::run(Cycle n)
+{
+    for (Cycle i = 0; i < n; ++i)
+        step();
+}
+
+// --------------------------------------------------------------------
+// Commit
+// --------------------------------------------------------------------
+
+void
+SmtCpu::doCommit()
+{
+    int budget = cfg.commitWidth;
+    int nt = cfg.numThreads;
+    for (int i = 0; i < nt && budget > 0; ++i) {
+        ThreadId tid = (rrCommit + i) % nt;
+        ThreadState &t = threads[tid];
+        while (budget > 0 && t.commitSeq < t.dispatchSeq) {
+            Slot &s = slotOf(t, t.commitSeq);
+            if (s.state != SlotCompleted)
+                break;
+            if (s.si.isStore()) {
+                // Stores drain from the store buffer at commit; the
+                // access updates tags so future loads see the line.
+                mem.dataAccess(tid, s.si.effAddr, true);
+            }
+            if (s.si.isBranch() && branchObserver) {
+                const auto &blocks = t.gen.profile().blocks;
+                CommittedBranch cb{tid, s.si.blockId,
+                                   blocks[s.si.blockId].length};
+                branchObserver(branchObserverCtx, cb);
+            }
+            trace(TraceStage::Commit, tid, s);
+            releaseResources(tid, s);
+            s.state = SlotFree;
+            ++statCounters.committed[tid];
+            ++t.commitSeq;
+            --budget;
+        }
+    }
+    rrCommit = (rrCommit + 1) % nt;
+}
+
+void
+SmtCpu::releaseResources(ThreadId tid, Slot &slot)
+{
+    if (slot.holdsIntIq) {
+        --occ.intIq[tid];
+        slot.holdsIntIq = false;
+    }
+    if (slot.holdsFpIq) {
+        --occ.fpIq[tid];
+        slot.holdsFpIq = false;
+    }
+    if (slot.holdsIntReg) {
+        --occ.intRegs[tid];
+        slot.holdsIntReg = false;
+    }
+    if (slot.holdsFpReg) {
+        --occ.fpRegs[tid];
+        slot.holdsFpReg = false;
+    }
+    if (slot.holdsLsq) {
+        --occ.lsq[tid];
+        slot.holdsLsq = false;
+    }
+    if (slot.holdsRob) {
+        --occ.rob[tid];
+        slot.holdsRob = false;
+    }
+}
+
+// --------------------------------------------------------------------
+// Completion / wakeup
+// --------------------------------------------------------------------
+
+void
+SmtCpu::doCompletions()
+{
+    while (!events.empty() && events.top().at <= curCycle) {
+        CompletionEvent ev = events.top();
+        events.pop();
+        Slot &s = threads[ev.tid].ring[ev.slot];
+        if (s.genId != ev.genId || s.state != SlotIssued)
+            continue; // squashed incarnation
+        complete(ev.tid, ev.slot);
+    }
+}
+
+void
+SmtCpu::complete(ThreadId tid, std::uint32_t slot_idx)
+{
+    ThreadState &t = threads[tid];
+    Slot &s = t.ring[slot_idx];
+    s.state = SlotCompleted;
+    trace(TraceStage::Complete, tid, s);
+
+    // Wake register-dependent instructions.
+    for (const DepRef &dep : s.dependents) {
+        Slot &d = t.ring[dep.slot];
+        if (d.genId != dep.genId || d.state != SlotDispatched)
+            continue;
+        if (d.pendingSrcs == 0)
+            continue;
+        if (--d.pendingSrcs == 0) {
+            // Completions run before issue within a cycle, so a
+            // dependent can issue back-to-back with its producer.
+            readyList.push_back(ReadyEntry{curCycle, d.fetchCycle, tid,
+                                           dep.slot, d.genId});
+        }
+    }
+    s.dependents.clear();
+
+    if (s.si.isLoad()) {
+        // Retire the outstanding-miss record, if any.
+        bool missed = false;
+        bool to_memory = false;
+        auto &misses = t.misses;
+        for (std::size_t i = 0; i < misses.size(); ++i) {
+            if (misses[i].seq == s.seq) {
+                missed = true;
+                to_memory = misses[i].toMemory;
+                misses.erase(misses.begin() + static_cast<long>(i));
+                break;
+            }
+        }
+        if (loadObserver) {
+            loadObserver(loadObserverCtx,
+                         LoadEvent{tid, s.seq, s.si.pc, true, missed,
+                                   to_memory});
+        }
+    }
+
+    if (s.si.isBranch()) {
+        predictors[tid].update(s.si.pc, s.bp, s.si.taken);
+        if (s.si.taken)
+            btb.update(s.si.pc, s.si.target);
+        if (s.mispredicted) {
+            predictors[tid].repairHistory(s.bp, s.si.taken);
+            if (t.blockingBranch == s.seq) {
+                t.blockingBranch = kNoSeq;
+                t.fetchReadyAt = std::max(
+                    t.fetchReadyAt, curCycle + cfg.mispredictRedirect);
+            }
+        }
+    }
+}
+
+// --------------------------------------------------------------------
+// Issue
+// --------------------------------------------------------------------
+
+void
+SmtCpu::doIssue()
+{
+    if (readyList.empty())
+        return;
+
+    // Oldest-first issue across all threads.
+    std::sort(readyList.begin(), readyList.end(),
+              [](const ReadyEntry &a, const ReadyEntry &b) {
+                  if (a.age != b.age)
+                      return a.age < b.age;
+                  if (a.tid != b.tid)
+                      return a.tid < b.tid;
+                  return a.slot < b.slot;
+              });
+
+    int fu[FuPoolCount] = {cfg.intAddUnits, cfg.intMulUnits, cfg.memPorts,
+                           cfg.fpAddUnits, cfg.fpMulUnits};
+    int budget = cfg.issueWidth;
+
+    std::vector<ReadyEntry> remaining;
+    remaining.reserve(readyList.size());
+
+    for (const ReadyEntry &e : readyList) {
+        Slot &s = threads[e.tid].ring[e.slot];
+        if (s.genId != e.genId || s.state != SlotDispatched)
+            continue; // squashed or already handled
+        if (e.readyAt > curCycle || budget == 0) {
+            remaining.push_back(e);
+            continue;
+        }
+        int pool = fuPoolOf(s.si.op);
+        if (fu[pool] == 0) {
+            remaining.push_back(e);
+            continue;
+        }
+        --fu[pool];
+        --budget;
+
+        // Leave the issue queue.
+        ThreadId tid = e.tid;
+        if (s.holdsIntIq) {
+            --occ.intIq[tid];
+            s.holdsIntIq = false;
+        }
+        if (s.holdsFpIq) {
+            --occ.fpIq[tid];
+            s.holdsFpIq = false;
+        }
+
+        Cycle lat = 1;
+        switch (s.si.op) {
+          case OpClass::IntAlu:
+            lat = cfg.intAluLatency;
+            break;
+          case OpClass::Branch:
+            lat = cfg.branchLatency;
+            break;
+          case OpClass::IntMul:
+            lat = cfg.intMulLatency;
+            break;
+          case OpClass::FpAlu:
+            lat = cfg.fpAluLatency;
+            break;
+          case OpClass::FpMul:
+            lat = cfg.fpMulLatency;
+            break;
+          case OpClass::Store:
+            lat = cfg.storeLatency;
+            break;
+          case OpClass::Load: {
+            MemAccessResult res =
+                mem.dataAccess(tid, s.si.effAddr, false);
+            lat = res.latency;
+            ++statCounters.loads[tid];
+            if (res.level != MemLevel::L1) {
+                threads[tid].misses.push_back(OutstandingMiss{
+                    s.seq, curCycle, curCycle + lat,
+                    res.level == MemLevel::Memory});
+            }
+            break;
+          }
+        }
+
+        s.state = SlotIssued;
+        trace(TraceStage::Issue, tid, s);
+        s.completeCycle = curCycle + std::max<Cycle>(1, lat);
+        events.push(CompletionEvent{s.completeCycle, tid, e.slot, s.genId});
+    }
+    readyList.swap(remaining);
+}
+
+// --------------------------------------------------------------------
+// Dispatch (rename)
+// --------------------------------------------------------------------
+
+void
+SmtCpu::doDispatch()
+{
+    int budget = cfg.issueWidth;
+    int nt = cfg.numThreads;
+    for (int i = 0; i < nt && budget > 0; ++i) {
+        ThreadId tid = (rrDispatch + i) % nt;
+        ThreadState &t = threads[tid];
+        while (budget > 0 && t.dispatchSeq < t.fetchSeq) {
+            if (!dispatchOne(tid))
+                break;
+            --budget;
+        }
+    }
+    rrDispatch = (rrDispatch + 1) % nt;
+}
+
+bool
+SmtCpu::dispatchOne(ThreadId tid)
+{
+    ThreadState &t = threads[tid];
+    InstSeq seq = t.dispatchSeq;
+    Slot &s = slotOf(t, seq);
+    const OpClass op = s.si.op;
+
+    // Shared-capacity checks.
+    if (occ.totalRob() >= cfg.robSize)
+        return false;
+    bool int_iq = usesIntIq(op);
+    if (int_iq && occ.totalIntIq() >= cfg.intIqSize)
+        return false;
+    if (!int_iq && occ.totalFpIq() >= cfg.fpIqSize)
+        return false;
+    bool int_reg = writesIntReg(op);
+    bool fp_reg = writesFpReg(op);
+    if (int_reg && occ.totalIntRegs() >= cfg.intRegs)
+        return false;
+    if (fp_reg && occ.totalFpRegs() >= cfg.fpRegs)
+        return false;
+    if (isMemOp(op) && occ.totalLsq() >= cfg.lsqSize)
+        return false;
+
+    // Partition-limit checks (Section 3.2: a thread may not consume
+    // beyond its allotment in any partitioned resource).
+    if (partitionOn) {
+        if (occ.rob[tid] >= limits.rob[tid])
+            return false;
+        if (int_iq && occ.intIq[tid] >= limits.intIq[tid])
+            return false;
+        if (int_reg && occ.intRegs[tid] >= limits.intRegs[tid])
+            return false;
+    }
+
+    // Allocate.
+    occ.ifq[tid] -= 1;
+    s.holdsRob = true;
+    ++occ.rob[tid];
+    if (int_iq) {
+        s.holdsIntIq = true;
+        ++occ.intIq[tid];
+    } else {
+        s.holdsFpIq = true;
+        ++occ.fpIq[tid];
+    }
+    if (int_reg) {
+        s.holdsIntReg = true;
+        ++occ.intRegs[tid];
+    }
+    if (fp_reg) {
+        s.holdsFpReg = true;
+        ++occ.fpRegs[tid];
+    }
+    if (isMemOp(op)) {
+        s.holdsLsq = true;
+        ++occ.lsq[tid];
+    }
+
+    s.state = SlotDispatched;
+    trace(TraceStage::Dispatch, tid, s);
+    linkDependences(tid, seq, s);
+    ++t.dispatchSeq;
+    if (loadObserver && op == OpClass::Load) {
+        loadObserver(loadObserverCtx,
+                     LoadEvent{tid, seq, s.si.pc, false, false, false});
+    }
+    return true;
+}
+
+void
+SmtCpu::linkDependences(ThreadId tid, InstSeq seq, Slot &slot)
+{
+    ThreadState &t = threads[tid];
+    int pending = 0;
+    std::uint32_t my_idx = slotIndex(seq);
+    for (int k = 0; k < 2; ++k) {
+        std::int32_t dist = slot.si.srcDist[k];
+        if (dist <= 0)
+            continue;
+        if (static_cast<InstSeq>(dist) > seq)
+            continue; // produced before the program began
+        InstSeq prod = seq - static_cast<InstSeq>(dist);
+        if (prod < t.commitSeq)
+            continue; // producer already committed
+        Slot &p = slotOf(t, prod);
+        if (p.state == SlotCompleted || p.state == SlotFree)
+            continue;
+        p.dependents.push_back(DepRef{my_idx, slot.genId});
+        ++pending;
+    }
+    slot.pendingSrcs = static_cast<std::uint8_t>(pending);
+    if (pending == 0) {
+        readyList.push_back(
+            ReadyEntry{curCycle + 1, slot.fetchCycle, tid, my_idx,
+                       slot.genId});
+    }
+}
+
+// --------------------------------------------------------------------
+// Fetch
+// --------------------------------------------------------------------
+
+void
+SmtCpu::fetchOrder(std::array<ThreadId, kMaxThreads> &order) const
+{
+    int nt = cfg.numThreads;
+    for (int i = 0; i < nt; ++i)
+        order[i] = static_cast<ThreadId>(i);
+    // Insertion sort by ascending front-end instruction count
+    // (ICOUNT); stable so ties break by thread id.
+    for (int i = 1; i < nt; ++i) {
+        ThreadId v = order[i];
+        int key = frontEndCount(v);
+        int j = i - 1;
+        while (j >= 0 && frontEndCount(order[j]) > key) {
+            order[j + 1] = order[j];
+            --j;
+        }
+        order[j + 1] = v;
+    }
+}
+
+bool
+SmtCpu::canFetch(const ThreadState &t, ThreadId) const
+{
+    return t.enabled && !t.policyLocked && t.blockingBranch == kNoSeq &&
+           t.fetchReadyAt <= curCycle;
+}
+
+bool
+SmtCpu::partitionBlocked(ThreadId tid) const
+{
+    if (!partitionOn)
+        return false;
+    return occ.intRegs[tid] >= limits.intRegs[tid] ||
+           occ.intIq[tid] >= limits.intIq[tid] ||
+           occ.rob[tid] >= limits.rob[tid];
+}
+
+void
+SmtCpu::ensureGenerated(ThreadState &t, InstSeq seq)
+{
+    while (t.genSeq <= seq) {
+        if (t.genSeq - t.commitSeq > ringMask)
+            panic("instruction ring overflow");
+        Slot &s = slotOf(t, t.genSeq);
+        s.si = t.gen.next();
+        s.seq = t.genSeq;
+        s.state = SlotFree;
+        ++t.genSeq;
+    }
+}
+
+void
+SmtCpu::doFetch()
+{
+    std::array<ThreadId, kMaxThreads> order;
+    fetchOrder(order);
+
+    int fetched = 0;
+    int threads_used = 0;
+    int nt = cfg.numThreads;
+
+    for (int oi = 0; oi < nt; ++oi) {
+        if (threads_used >= cfg.fetchThreadsPerCycle ||
+            fetched >= cfg.fetchWidth)
+            break;
+        ThreadId tid = order[oi];
+        ThreadState &t = threads[tid];
+        if (!canFetch(t, tid))
+            continue;
+        if (partitionBlocked(tid)) {
+            ++statCounters.partitionLockCycles[tid];
+            continue;
+        }
+        if (occ.totalIfq() >= cfg.ifqSize)
+            break;
+
+        // One I-cache access per fetch group.
+        ensureGenerated(t, t.fetchSeq);
+        Addr group_pc = slotOf(t, t.fetchSeq).si.pc;
+        MemAccessResult il1 = mem.instAccess(tid, group_pc);
+        if (il1.level != MemLevel::L1) {
+            t.fetchReadyAt = curCycle + il1.latency;
+            continue;
+        }
+        ++threads_used;
+
+        while (fetched < cfg.fetchWidth) {
+            if (occ.totalIfq() >= cfg.ifqSize)
+                break;
+            if (partitionBlocked(tid))
+                break;
+            ensureGenerated(t, t.fetchSeq);
+            Slot &s = slotOf(t, t.fetchSeq);
+            InstSeq seq = t.fetchSeq;
+
+            s.fetchCycle = curCycle;
+            s.state = SlotFetched;
+            s.dependents.clear();
+            s.pendingSrcs = 0;
+            s.mispredicted = false;
+
+            ++occ.ifq[tid];
+            ++statCounters.fetched[tid];
+            trace(TraceStage::Fetch, tid, s);
+            ++t.fetchSeq;
+            ++fetched;
+
+            if (!s.si.isBranch())
+                continue;
+
+            ++statCounters.branches[tid];
+            s.bp = predictors[tid].predict(s.si.pc);
+            Addr btb_target = 0;
+            bool btb_hit = btb.lookup(s.si.pc, btb_target);
+            bool target_ok = btb_hit && btb_target == s.si.target;
+            bool correct = (s.bp.prediction == s.si.taken) &&
+                           (!s.si.taken || target_ok);
+            if (!correct) {
+                // Wrong-path fetch is not modeled: the thread stops
+                // fetching until the branch resolves and the
+                // front end refills (cfg.mispredictRedirect).
+                s.mispredicted = true;
+                ++statCounters.mispredicts[tid];
+                t.blockingBranch = seq;
+                break;
+            }
+            if (s.si.taken)
+                break; // fetch group ends at a taken branch
+        }
+    }
+}
+
+// --------------------------------------------------------------------
+// Squash (FLUSH policy support)
+// --------------------------------------------------------------------
+
+int
+SmtCpu::flushThreadAfter(ThreadId tid, InstSeq seq)
+{
+    ThreadState &t = threads.at(tid);
+    InstSeq start = std::max(seq + 1, t.commitSeq);
+    if (start >= t.fetchSeq)
+        return 0;
+
+    int squashed = 0;
+    for (InstSeq i = start; i < t.fetchSeq; ++i) {
+        Slot &s = slotOf(t, i);
+        if (s.state == SlotFree)
+            continue;
+        if (s.state == SlotFetched)
+            --occ.ifq[tid];
+        trace(TraceStage::Squash, tid, s);
+        releaseResources(tid, s);
+        s.state = SlotFree;
+        ++s.genId;
+        s.dependents.clear();
+        ++squashed;
+        ++statCounters.flushed[tid];
+    }
+
+    t.fetchSeq = start;
+    t.dispatchSeq = std::min(t.dispatchSeq, start);
+    if (t.blockingBranch != kNoSeq && t.blockingBranch >= start)
+        t.blockingBranch = kNoSeq;
+    std::erase_if(t.misses, [start](const OutstandingMiss &m) {
+        return m.seq >= start;
+    });
+    return squashed;
+}
+
+} // namespace smthill

@@ -1,0 +1,356 @@
+/**
+ * @file
+ * The out-of-order SMT processor model (Figure 3).
+ *
+ * The core models the pipeline the paper simulates: ICOUNT-driven
+ * fetch of up to 8 instructions from up to 2 threads per cycle into a
+ * shared 32-entry IFQ; rename/dispatch into the integer/fp issue
+ * queues, rename register files, shared ROB, and LSQ; event-driven
+ * wakeup and 8-wide issue constrained by the Table 1 functional-unit
+ * pools; cache-accurate load latencies; and 8-wide in-order
+ * per-thread commit. Per-thread occupancy counters and partition
+ * registers implement the fetch-lock partition enforcement of
+ * Section 3.2; flushThreadAfter() implements the FLUSH policy's
+ * squash; setThreadEnabled() implements SingleIPC sampling epochs;
+ * and stallUntil() charges the hill-climber's software cost.
+ *
+ * SmtCpu has value semantics: copying it checkpoints the entire
+ * machine (pipeline, caches, predictors, instruction generators, and
+ * statistics), which is how OFF-LINE exhaustive learning, RAND-HILL,
+ * and the synchronized comparisons of Figures 5, 11, and 12 work.
+ */
+
+#ifndef SMTHILL_PIPELINE_CPU_HH
+#define SMTHILL_PIPELINE_CPU_HH
+
+#include <array>
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "branch/predictors.hh"
+#include "common/types.hh"
+#include "memory/hierarchy.hh"
+#include "pipeline/resources.hh"
+#include "pipeline/smt_config.hh"
+#include "pipeline/tracer.hh"
+#include "trace/instruction.hh"
+#include "trace/stream_generator.hh"
+
+namespace smthill
+{
+
+/** Cumulative per-machine statistics; read-diff across an interval. */
+struct CpuStats
+{
+    std::array<std::uint64_t, kMaxThreads> committed{};
+    std::array<std::uint64_t, kMaxThreads> fetched{};
+    std::array<std::uint64_t, kMaxThreads> flushed{};
+    std::array<std::uint64_t, kMaxThreads> branches{};
+    std::array<std::uint64_t, kMaxThreads> mispredicts{};
+    std::array<std::uint64_t, kMaxThreads> loads{};
+    std::array<std::uint64_t, kMaxThreads> partitionLockCycles{};
+    std::uint64_t committedTotal() const;
+};
+
+/** An in-flight load that missed the DL1 (policy monitors). */
+struct OutstandingMiss
+{
+    InstSeq seq = 0;
+    Cycle issuedAt = 0;
+    Cycle completesAt = 0;
+    bool toMemory = false;   ///< missed the L2 as well
+};
+
+/** Per-committed-branch record handed to phase-tracking observers. */
+struct CommittedBranch
+{
+    ThreadId tid;
+    std::uint32_t blockId;
+    std::uint32_t blockLength;
+};
+
+/**
+ * Load lifecycle event for policy observers (e.g., PDG's cache-miss
+ * predictor): fired once when a load dispatches (completed == false;
+ * miss outcome unknown) and once when it completes (completed ==
+ * true; missedDl1/toMemory valid).
+ */
+struct LoadEvent
+{
+    ThreadId tid;
+    InstSeq seq;
+    Addr pc;
+    bool completed;
+    bool missedDl1;
+    bool toMemory;
+};
+
+/** The SMT processor. */
+class SmtCpu
+{
+  public:
+    /**
+     * @param config machine parameters (validated)
+     * @param programs one stream generator per hardware context;
+     *        size must equal config.numThreads
+     */
+    SmtCpu(const SmtConfig &config, std::vector<StreamGenerator> programs);
+
+    /** Advance the machine by one cycle. */
+    void step();
+
+    /** Advance the machine by @p n cycles. */
+    void run(Cycle n);
+
+    /** @return current simulated cycle. */
+    Cycle now() const { return curCycle; }
+
+    /** @return number of hardware contexts. */
+    int numThreads() const { return cfg.numThreads; }
+
+    const SmtConfig &config() const { return cfg; }
+    const CpuStats &stats() const { return statCounters; }
+    const Occupancy &occupancy() const { return occ; }
+    const MemoryHierarchy &memory() const { return mem; }
+
+    // --- Partition control (Section 3.1.2 / 3.2) -------------------
+
+    /** Enable partition enforcement and install the given shares. */
+    void setPartition(const Partition &partition);
+
+    /** Disable partition enforcement (full sharing). */
+    void clearPartition();
+
+    /** @return true when partition limits are being enforced. */
+    bool partitioningEnabled() const { return partitionOn; }
+
+    /** @return the active partition (meaningful when enabled). */
+    const Partition &partition() const { return curPartition; }
+
+    // --- Policy hooks ----------------------------------------------
+
+    /** Fetch-lock or unlock a thread (FLUSH/STALL/DCRA control). */
+    void setFetchLocked(ThreadId tid, bool locked);
+
+    /** @return true if the policy has fetch-locked @p tid. */
+    bool fetchLocked(ThreadId tid) const;
+
+    /**
+     * Squash every in-flight instruction of @p tid younger than
+     * @p seq, releasing their resources; fetch resumes at seq + 1.
+     * Implements FLUSH's recovery. @return instructions squashed.
+     */
+    int flushThreadAfter(ThreadId tid, InstSeq seq);
+
+    /** Enable or disable a thread (SingleIPC sampling epochs). */
+    void setThreadEnabled(ThreadId tid, bool enabled);
+
+    /** @return true if the thread is fetching/dispatching. */
+    bool threadEnabled(ThreadId tid) const;
+
+    /** Freeze all pipeline stages until cycle @p until. */
+    void stallUntil(Cycle until);
+
+    /** In-flight DL1 misses of @p tid, oldest first. */
+    const std::vector<OutstandingMiss> &
+    outstandingMisses(ThreadId tid) const
+    {
+        return threads[tid].misses;
+    }
+
+    /** @return count of in-flight DL1 misses of @p tid. */
+    int dl1MissesInFlight(ThreadId tid) const
+    {
+        return static_cast<int>(threads[tid].misses.size());
+    }
+
+    /** @return instructions in pre-issue stages (ICOUNT's counter). */
+    int frontEndCount(ThreadId tid) const;
+
+    /**
+     * Register an observer invoked once per committed branch (phase
+     * detection BBVs). Pass nullptr to detach. The observer is NOT
+     * part of the checkpointed machine state.
+     */
+    using BranchObserver = void (*)(void *ctx, const CommittedBranch &);
+    void setBranchObserver(BranchObserver fn, void *ctx);
+
+    /**
+     * Register an observer invoked at load dispatch and completion
+     * (PDG-style miss predictors). Pass nullptr to detach. Not part
+     * of the checkpointed machine state.
+     */
+    using LoadObserver = void (*)(void *ctx, const LoadEvent &);
+    void setLoadObserver(LoadObserver fn, void *ctx);
+
+    /**
+     * Attach a pipeline tracer (nullptr detaches). The tracer is a
+     * debugging aid owned by the caller; it is NOT checkpointed, and
+     * machine copies share the same tracer pointer.
+     */
+    void setTracer(PipelineTracer *t) { tracer = t; }
+
+  private:
+    static constexpr InstSeq kNoSeq = ~InstSeq{0};
+
+    /** Reference to a dependent instruction's slot incarnation. */
+    struct DepRef
+    {
+        std::uint32_t slot;
+        std::uint32_t genId;
+    };
+
+    /** Dynamic state of one in-flight (or replay-buffered) inst. */
+    struct Slot
+    {
+        SynthInst si;
+        InstSeq seq = 0;
+        Cycle fetchCycle = 0;
+        Cycle completeCycle = 0;
+        HybridPredictor::Lookup bp;
+        std::vector<DepRef> dependents;
+        std::uint32_t genId = 0;
+        std::uint8_t pendingSrcs = 0;
+        std::uint8_t state = 0;       ///< SlotState
+        bool mispredicted = false;
+        bool holdsIntIq = false;
+        bool holdsFpIq = false;
+        bool holdsIntReg = false;
+        bool holdsFpReg = false;
+        bool holdsLsq = false;
+        bool holdsRob = false;
+    };
+
+    enum SlotState : std::uint8_t
+    {
+        SlotFree = 0,
+        SlotFetched,     ///< in the IFQ
+        SlotDispatched,  ///< waiting in an issue queue
+        SlotIssued,      ///< executing
+        SlotCompleted    ///< awaiting commit
+    };
+
+    /** Architectural + microarchitectural state of one context. */
+    struct ThreadState
+    {
+        explicit ThreadState(StreamGenerator g) : gen(std::move(g)) {}
+
+        StreamGenerator gen;
+        std::vector<Slot> ring;   ///< indexed by seq & ringMask
+
+        InstSeq genSeq = 0;      ///< next seq to synthesize
+        InstSeq fetchSeq = 0;    ///< next seq to fetch
+        InstSeq dispatchSeq = 0; ///< next seq to dispatch
+        InstSeq commitSeq = 0;   ///< next seq to commit
+
+        Cycle fetchReadyAt = 0;   ///< IL1 miss / redirect gate
+        InstSeq blockingBranch = kNoSeq; ///< unresolved mispredict
+        bool policyLocked = false;
+        bool enabled = true;
+
+        std::vector<OutstandingMiss> misses; ///< in-flight DL1 misses
+    };
+
+    struct ReadyEntry
+    {
+        Cycle readyAt;
+        Cycle age;        ///< fetch cycle (older issues first)
+        ThreadId tid;
+        std::uint32_t slot;
+        std::uint32_t genId;
+    };
+
+    struct CompletionEvent
+    {
+        Cycle at;
+        ThreadId tid;
+        std::uint32_t slot;
+        std::uint32_t genId;
+        bool operator>(const CompletionEvent &o) const { return at > o.at; }
+    };
+
+    Slot &slotOf(ThreadState &t, InstSeq seq)
+    {
+        return t.ring[seq & ringMask];
+    }
+    std::uint32_t slotIndex(InstSeq seq) const
+    {
+        return static_cast<std::uint32_t>(seq & ringMask);
+    }
+
+    // Pipeline stages, in reverse order within step().
+    void doCommit();
+    void doCompletions();
+    void doIssue();
+    void doDispatch();
+    void doFetch();
+
+    /** Order threads by ascending front-end count (ICOUNT). */
+    void fetchOrder(std::array<ThreadId, kMaxThreads> &order) const;
+
+    /** @return true if @p tid may fetch this cycle. */
+    bool canFetch(const ThreadState &t, ThreadId tid) const;
+
+    /** @return true if @p tid is at a partition limit (fetch gate). */
+    bool partitionBlocked(ThreadId tid) const;
+
+    /** Ensure the instruction at @p seq exists in the replay window. */
+    void ensureGenerated(ThreadState &t, InstSeq seq);
+
+    /** Try to dispatch the next instruction of @p tid; @return ok. */
+    bool dispatchOne(ThreadId tid);
+
+    /** Hook up the dependences of a newly dispatched instruction. */
+    void linkDependences(ThreadId tid, InstSeq seq, Slot &slot);
+
+    /** Mark a slot completed and wake its dependents. */
+    void complete(ThreadId tid, std::uint32_t slot_idx);
+
+    /** Release whatever resources a slot still holds. */
+    void releaseResources(ThreadId tid, Slot &slot);
+
+    SmtConfig cfg;
+    MemoryHierarchy mem;
+    std::vector<ThreadState> threads;
+    std::vector<HybridPredictor> predictors;
+    Btb btb;
+
+    Occupancy occ;
+    Partition curPartition;
+    DerivedLimits limits;
+    bool partitionOn = false;
+
+    Cycle curCycle = 0;
+    Cycle stalledUntil = 0;
+    std::uint64_t ringMask = 0;
+    std::uint32_t rrDispatch = 0; ///< round-robin dispatch start
+    std::uint32_t rrCommit = 0;   ///< round-robin commit start
+
+    std::vector<ReadyEntry> readyList;
+    std::priority_queue<CompletionEvent, std::vector<CompletionEvent>,
+                        std::greater<CompletionEvent>>
+        events;
+
+    CpuStats statCounters;
+
+    BranchObserver branchObserver = nullptr;
+    void *branchObserverCtx = nullptr;
+    LoadObserver loadObserver = nullptr;
+    void *loadObserverCtx = nullptr;
+    PipelineTracer *tracer = nullptr;
+
+    /** Record a pipeline trace event if a tracer is attached. */
+    void
+    trace(TraceStage stage, ThreadId tid, const Slot &slot)
+    {
+        if (tracer) {
+            tracer->record(TraceEvent{curCycle, slot.seq, slot.si.pc,
+                                      stage, tid, slot.si.op});
+        }
+    }
+};
+
+} // namespace smthill
+
+#endif // SMTHILL_PIPELINE_CPU_HH

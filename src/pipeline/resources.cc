@@ -1,0 +1,103 @@
+#include "pipeline/resources.hh"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+#include "common/log.hh"
+#include "pipeline/smt_config.hh"
+
+namespace smthill
+{
+
+Partition
+Partition::equal(int threads, int total)
+{
+    if (threads < 1 || threads > kMaxThreads)
+        fatal("Partition::equal: bad thread count");
+    Partition p;
+    p.numThreads = threads;
+    int base = total / threads;
+    int extra = total % threads;
+    for (int i = 0; i < threads; ++i)
+        p.share[i] = base + (i < extra ? 1 : 0);
+    return p;
+}
+
+int
+Partition::total() const
+{
+    int sum = 0;
+    for (int i = 0; i < numThreads; ++i)
+        sum += share[i];
+    return sum;
+}
+
+void
+Partition::clampMin(int min_share)
+{
+    for (int i = 0; i < numThreads; ++i) {
+        while (share[i] < min_share) {
+            // Take one unit from the currently largest share.
+            int richest = 0;
+            for (int j = 1; j < numThreads; ++j)
+                if (share[j] > share[richest])
+                    richest = j;
+            if (share[richest] <= min_share)
+                return; // nothing left to redistribute
+            ++share[i];
+            --share[richest];
+        }
+    }
+}
+
+std::string
+Partition::str() const
+{
+    std::ostringstream os;
+    for (int i = 0; i < numThreads; ++i) {
+        if (i)
+            os << '/';
+        os << share[i];
+    }
+    return os.str();
+}
+
+DerivedLimits
+deriveLimits(const Partition &partition, const SmtConfig &config)
+{
+    DerivedLimits lim;
+    int total = config.intRegs;
+    for (int i = 0; i < partition.numThreads; ++i) {
+        int regs = std::clamp(partition.share[i], 0, total);
+        lim.intRegs[i] = std::max(1, regs);
+        lim.intIq[i] = std::max(
+            1, static_cast<int>(static_cast<std::int64_t>(config.intIqSize) *
+                                regs / total));
+        lim.rob[i] = std::max(
+            1, static_cast<int>(static_cast<std::int64_t>(config.robSize) *
+                                regs / total));
+    }
+    return lim;
+}
+
+namespace
+{
+
+int
+sumOf(const std::array<int, kMaxThreads> &a)
+{
+    return std::accumulate(a.begin(), a.end(), 0);
+}
+
+} // namespace
+
+int Occupancy::totalIntIq() const { return sumOf(intIq); }
+int Occupancy::totalFpIq() const { return sumOf(fpIq); }
+int Occupancy::totalIntRegs() const { return sumOf(intRegs); }
+int Occupancy::totalFpRegs() const { return sumOf(fpRegs); }
+int Occupancy::totalRob() const { return sumOf(rob); }
+int Occupancy::totalLsq() const { return sumOf(lsq); }
+int Occupancy::totalIfq() const { return sumOf(ifq); }
+
+} // namespace smthill

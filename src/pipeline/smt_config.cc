@@ -1,0 +1,30 @@
+#include "pipeline/smt_config.hh"
+
+#include "common/log.hh"
+
+namespace smthill
+{
+
+void
+SmtConfig::validate() const
+{
+    if (numThreads < 1 || numThreads > kMaxThreads)
+        fatal(msg("SmtConfig: numThreads must be in [1, ", kMaxThreads,
+                  "]"));
+    if (fetchWidth < 1 || issueWidth < 1 || commitWidth < 1)
+        fatal("SmtConfig: widths must be positive");
+    if (fetchThreadsPerCycle < 1)
+        fatal("SmtConfig: fetchThreadsPerCycle must be positive");
+    if (ifqSize < fetchWidth)
+        fatal("SmtConfig: IFQ smaller than one fetch group");
+    if (intIqSize < 1 || fpIqSize < 1 || lsqSize < 1 || robSize < 1)
+        fatal("SmtConfig: queue sizes must be positive");
+    if (intRegs < numThreads)
+        fatal("SmtConfig: fewer int rename registers than threads");
+    if (fpRegs < 1)
+        fatal("SmtConfig: fpRegs must be positive");
+    if (intAddUnits < 1 || memPorts < 1)
+        fatal("SmtConfig: need at least one int ALU and one mem port");
+}
+
+} // namespace smthill

@@ -1,0 +1,87 @@
+#include "pipeline/tracer.hh"
+
+#include "common/log.hh"
+
+namespace smthill
+{
+
+const char *
+traceStageName(TraceStage stage)
+{
+    switch (stage) {
+      case TraceStage::Fetch:
+        return "fetch";
+      case TraceStage::Dispatch:
+        return "dispatch";
+      case TraceStage::Issue:
+        return "issue";
+      case TraceStage::Complete:
+        return "complete";
+      case TraceStage::Commit:
+        return "commit";
+      case TraceStage::Squash:
+        return "squash";
+    }
+    return "?";
+}
+
+PipelineTracer::PipelineTracer(std::size_t capacity) : ring(capacity)
+{
+    if (capacity == 0)
+        fatal("PipelineTracer: capacity must be positive");
+}
+
+void
+PipelineTracer::record(const TraceEvent &event)
+{
+    ++offeredCount;
+    if (threadFilter >= 0 &&
+        event.tid != static_cast<ThreadId>(threadFilter))
+        return;
+    if (!(stageMask & (std::uint32_t{1}
+                       << static_cast<std::uint32_t>(event.stage))))
+        return;
+    ring[head] = event;
+    head = (head + 1) % ring.size();
+    if (count < ring.size())
+        ++count;
+}
+
+std::vector<TraceEvent>
+PipelineTracer::events() const
+{
+    std::vector<TraceEvent> out;
+    out.reserve(count);
+    std::size_t start = (head + ring.size() - count) % ring.size();
+    for (std::size_t i = 0; i < count; ++i)
+        out.push_back(ring[(start + i) % ring.size()]);
+    return out;
+}
+
+std::size_t
+PipelineTracer::size() const
+{
+    return count;
+}
+
+void
+PipelineTracer::clear()
+{
+    head = 0;
+    count = 0;
+}
+
+void
+PipelineTracer::dump(std::FILE *out) const
+{
+    for (const TraceEvent &e : events()) {
+        std::fprintf(out, "%10llu t%u %-8s seq=%llu pc=0x%llx %s\n",
+                     static_cast<unsigned long long>(e.cycle), e.tid,
+                     traceStageName(e.stage),
+                     static_cast<unsigned long long>(e.seq),
+                     static_cast<unsigned long long>(e.pc),
+                     opClassName(e.op));
+    }
+}
+
+} // namespace smthill

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Pipeline event tracing: an optional, bounded ring buffer of
+ * per-instruction stage events (fetch, dispatch, issue, complete,
+ * commit, squash) with thread and stage filters. Intended for
+ * debugging policies and for the occupancy-timeline example; the
+ * tracer is not part of the checkpointed machine state.
+ */
+
+#ifndef SMTHILL_PIPELINE_TRACER_HH
+#define SMTHILL_PIPELINE_TRACER_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace smthill
+{
+
+/** Pipeline stages an instruction passes through (or squash). */
+enum class TraceStage : std::uint8_t
+{
+    Fetch,
+    Dispatch,
+    Issue,
+    Complete,
+    Commit,
+    Squash
+};
+
+/** @return a short printable stage name. */
+const char *traceStageName(TraceStage stage);
+
+/** One recorded pipeline event. */
+struct TraceEvent
+{
+    Cycle cycle = 0;
+    InstSeq seq = 0;
+    Addr pc = 0;
+    TraceStage stage = TraceStage::Fetch;
+    ThreadId tid = 0;
+    OpClass op = OpClass::IntAlu;
+};
+
+/** Bounded, filtered event recorder. */
+class PipelineTracer
+{
+  public:
+    /** @param capacity maximum retained events (ring buffer) */
+    explicit PipelineTracer(std::size_t capacity = 4096);
+
+    /** Record one event (honoring the filters). */
+    void record(const TraceEvent &event);
+
+    /** Keep only events of @p tid (negative = all threads). */
+    void filterThread(int tid) { threadFilter = tid; }
+
+    /** Keep only stages whose bit is set (bit = stage enum value). */
+    void filterStages(std::uint32_t mask) { stageMask = mask; }
+
+    /** @return retained events, oldest first. */
+    std::vector<TraceEvent> events() const;
+
+    /** @return number of retained events. */
+    std::size_t size() const;
+
+    /** @return total events offered (including filtered/evicted). */
+    std::uint64_t offered() const { return offeredCount; }
+
+    /** Discard all retained events. */
+    void clear();
+
+    /** Write retained events as text lines to @p out. */
+    void dump(std::FILE *out) const;
+
+  private:
+    std::vector<TraceEvent> ring;
+    std::size_t head = 0;   ///< next write position
+    std::size_t count = 0;  ///< retained events
+    std::uint64_t offeredCount = 0;
+    int threadFilter = -1;
+    std::uint32_t stageMask = ~std::uint32_t{0};
+};
+
+} // namespace smthill
+
+#endif // SMTHILL_PIPELINE_TRACER_HH

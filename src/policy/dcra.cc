@@ -1,0 +1,83 @@
+#include "policy/dcra.hh"
+
+#include "common/log.hh"
+
+namespace smthill
+{
+
+DcraPolicy::DcraPolicy(int sharing_factor) : sharingFactor(sharing_factor)
+{
+    if (sharing_factor < 1)
+        fatal("DcraPolicy: sharing factor must be >= 1");
+}
+
+void
+DcraPolicy::attach(SmtCpu &cpu)
+{
+    lastSlowMask = ~std::uint32_t{0};
+    for (int i = 0; i < cpu.numThreads(); ++i)
+        cpu.setFetchLocked(static_cast<ThreadId>(i), false);
+    recompute(cpu);
+}
+
+void
+DcraPolicy::cycle(SmtCpu &cpu)
+{
+    recompute(cpu);
+}
+
+void
+DcraPolicy::recompute(SmtCpu &cpu)
+{
+    int nt = cpu.numThreads();
+
+    std::uint32_t slow_mask = 0;
+    int num_slow = 0;
+    for (int i = 0; i < nt; ++i) {
+        if (cpu.dl1MissesInFlight(static_cast<ThreadId>(i)) > 0) {
+            slow_mask |= std::uint32_t{1} << i;
+            ++num_slow;
+        }
+    }
+    if (slow_mask == lastSlowMask)
+        return; // classification unchanged; limits still valid
+    lastSlowMask = slow_mask;
+
+    // One fast thread gets x units, a slow one gets C*x, with
+    // F*x + S*C*x = total.
+    int total = cpu.config().intRegs;
+    int num_fast = nt - num_slow;
+    int denom = num_fast + sharingFactor * num_slow;
+
+    Partition p;
+    p.numThreads = nt;
+    int assigned = 0;
+    for (int i = 0; i < nt; ++i) {
+        bool slow = (slow_mask >> i) & 1;
+        int share = total * (slow ? sharingFactor : 1) / denom;
+        p.share[i] = share;
+        assigned += share;
+    }
+    // Distribute rounding leftovers to slow threads first.
+    int leftover = total - assigned;
+    for (int i = 0; i < nt && leftover > 0; ++i) {
+        if ((slow_mask >> i) & 1) {
+            ++p.share[i];
+            --leftover;
+        }
+    }
+    for (int i = 0; i < nt && leftover > 0; ++i) {
+        ++p.share[i];
+        --leftover;
+    }
+
+    cpu.setPartition(p);
+}
+
+std::unique_ptr<ResourcePolicy>
+DcraPolicy::clone() const
+{
+    return std::make_unique<DcraPolicy>(*this);
+}
+
+} // namespace smthill

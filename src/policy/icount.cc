@@ -1,0 +1,20 @@
+#include "policy/icount.hh"
+
+namespace smthill
+{
+
+void
+IcountPolicy::attach(SmtCpu &cpu)
+{
+    cpu.clearPartition();
+    for (int i = 0; i < cpu.numThreads(); ++i)
+        cpu.setFetchLocked(static_cast<ThreadId>(i), false);
+}
+
+std::unique_ptr<ResourcePolicy>
+IcountPolicy::clone() const
+{
+    return std::make_unique<IcountPolicy>(*this);
+}
+
+} // namespace smthill

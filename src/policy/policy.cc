@@ -1,0 +1,21 @@
+#include "policy/policy.hh"
+
+namespace smthill
+{
+
+void
+ResourcePolicy::attach(SmtCpu &)
+{
+}
+
+void
+ResourcePolicy::cycle(SmtCpu &)
+{
+}
+
+void
+ResourcePolicy::epoch(SmtCpu &, std::uint64_t)
+{
+}
+
+} // namespace smthill

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Resource-distribution policy interface.
+ *
+ * A policy observes the machine and controls fetch locks and resource
+ * partitions. The experiment runner drives the machine cycle by
+ * cycle, invoking cycle() before every SmtCpu::step() and epoch() at
+ * every epoch boundary. All policies rely on the ICOUNT fetch
+ * priority that is built into the core's fetch stage (Section 3.1.2:
+ * fetch bandwidth itself is always distributed by ICOUNT).
+ */
+
+#ifndef SMTHILL_POLICY_POLICY_HH
+#define SMTHILL_POLICY_POLICY_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "pipeline/cpu.hh"
+
+namespace smthill
+{
+
+/** Abstract base for all resource-distribution mechanisms. */
+class ResourcePolicy
+{
+  public:
+    virtual ~ResourcePolicy() = default;
+
+    /** @return a short display name ("ICOUNT", "FLUSH", ...). */
+    virtual std::string name() const = 0;
+
+    /** Called once before simulation begins (install initial state). */
+    virtual void attach(SmtCpu &cpu);
+
+    /** Called every cycle before the machine steps. */
+    virtual void cycle(SmtCpu &cpu);
+
+    /**
+     * Called at every epoch boundary.
+     * @param cpu the machine, stopped at the boundary
+     * @param epoch_id index of the epoch that just ended (0-based)
+     */
+    virtual void epoch(SmtCpu &cpu, std::uint64_t epoch_id);
+
+    /** @return a deep copy (for synchronized comparison runs). */
+    virtual std::unique_ptr<ResourcePolicy> clone() const = 0;
+};
+
+} // namespace smthill
+
+#endif // SMTHILL_POLICY_POLICY_HH

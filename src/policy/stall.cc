@@ -1,0 +1,45 @@
+#include "policy/stall.hh"
+
+namespace smthill
+{
+
+StallPolicy::StallPolicy(Cycle threshold) : threshold(threshold)
+{
+}
+
+void
+StallPolicy::attach(SmtCpu &cpu)
+{
+    cpu.clearPartition();
+    locked.fill(false);
+    for (int i = 0; i < cpu.numThreads(); ++i)
+        cpu.setFetchLocked(static_cast<ThreadId>(i), false);
+}
+
+void
+StallPolicy::cycle(SmtCpu &cpu)
+{
+    Cycle now = cpu.now();
+    for (int i = 0; i < cpu.numThreads(); ++i) {
+        auto tid = static_cast<ThreadId>(i);
+        bool long_load = false;
+        for (const OutstandingMiss &m : cpu.outstandingMisses(tid)) {
+            if (now - m.issuedAt >= threshold) {
+                long_load = true;
+                break;
+            }
+        }
+        if (long_load != locked[i]) {
+            locked[i] = long_load;
+            cpu.setFetchLocked(tid, long_load);
+        }
+    }
+}
+
+std::unique_ptr<ResourcePolicy>
+StallPolicy::clone() const
+{
+    return std::make_unique<StallPolicy>(*this);
+}
+
+} // namespace smthill

@@ -1,0 +1,29 @@
+#include "policy/static_partition.hh"
+
+namespace smthill
+{
+
+StaticPartitionPolicy::StaticPartitionPolicy(Partition shares)
+    : fixed(shares), haveCustom(true)
+{
+}
+
+void
+StaticPartitionPolicy::attach(SmtCpu &cpu)
+{
+    for (int i = 0; i < cpu.numThreads(); ++i)
+        cpu.setFetchLocked(static_cast<ThreadId>(i), false);
+    if (haveCustom)
+        cpu.setPartition(fixed);
+    else
+        cpu.setPartition(Partition::equal(cpu.numThreads(),
+                                          cpu.config().intRegs));
+}
+
+std::unique_ptr<ResourcePolicy>
+StaticPartitionPolicy::clone() const
+{
+    return std::make_unique<StaticPartitionPolicy>(*this);
+}
+
+} // namespace smthill

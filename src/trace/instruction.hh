@@ -1,0 +1,43 @@
+/**
+ * @file
+ * The synthetic dynamic instruction record produced by the workload
+ * generators and consumed by the SMT pipeline.
+ */
+
+#ifndef SMTHILL_TRACE_INSTRUCTION_HH
+#define SMTHILL_TRACE_INSTRUCTION_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace smthill
+{
+
+/**
+ * One dynamic instruction. Register dependences are expressed as
+ * distances back in the same thread's dynamic instruction stream
+ * (srcDist[i] == d means "source i is produced by the instruction d
+ * positions earlier"); a distance of 0 means the operand is ready.
+ * This representation is what trace-driven simulators derive from
+ * real register traces, and it is sufficient to model ILP, dependence
+ * chains, and memory-level parallelism.
+ */
+struct SynthInst
+{
+    Addr pc = 0;              ///< instruction address
+    Addr effAddr = 0;         ///< effective address (Load/Store only)
+    Addr target = 0;          ///< branch target (Branch only)
+    std::uint32_t blockId = 0; ///< static basic-block id (for BBVs)
+    std::int32_t srcDist[2] = {0, 0}; ///< producer distances (0 = none)
+    OpClass op = OpClass::IntAlu;
+    bool taken = false;       ///< actual branch outcome (Branch only)
+
+    bool isLoad() const { return op == OpClass::Load; }
+    bool isStore() const { return op == OpClass::Store; }
+    bool isBranch() const { return op == OpClass::Branch; }
+};
+
+} // namespace smthill
+
+#endif // SMTHILL_TRACE_INSTRUCTION_HH

@@ -1,0 +1,164 @@
+#include "trace/spec_profiles.hh"
+
+#include <map>
+
+#include "common/log.hh"
+
+namespace smthill
+{
+
+namespace
+{
+
+/**
+ * One row of the model table. The calibration levers are:
+ *  - serialFrac / meanDepDist: dependence structure, i.e., how much
+ *    window (rename registers / ROB) the thread can convert into ILP.
+ *    Long distances + low serial fraction -> high Rsc.
+ *  - pLoadCold / burstProb / burstMax: memory intensity and
+ *    memory-level parallelism. High burst MLP -> high Rsc (window
+ *    holds many overlapped misses), serial cold misses -> low IPC
+ *    with modest Rsc (mcf-style pointer chasing).
+ *  - randomBranchFrac / branchDependsOnLoad: branch predictability;
+ *    poorly predicted branches cap usable window (compute-intensive
+ *    low-ILP threads, Section 3.3.2).
+ *  - numBlocks * avgBlockLen: static code footprint (IL1 behavior).
+ *  - freqClass / phaseSwing: Table 2 "Freq" column.
+ */
+struct ModelRow
+{
+    const char *name;
+    int paperRsc;
+    int freq;       // 0 No, 1 Low, 2 High
+    bool fp;
+    bool mem;
+    int blocks;
+    int blockLen;
+    double serial;
+    int depDist;
+    double pCold;
+    double pWarm;
+    double burstP;
+    int burstMax;
+    double randBr;
+    double brLoadDep;
+    double swing;
+    double ipcEst;
+};
+
+const ModelRow kModelTable[] = {
+    //  name      Rsc fq  fp    mem   blk len serial dep  pCold pWarm brstP bMax randBr brLd  swing ipc
+    {"bzip2",      72, 0, false, false,  64, 10, 0.35,  7, 0.000, 0.004, 0.0,  1, 0.05, 0.05, 0.0, 1.6},
+    {"perlbmk",    59, 0, false, false,  96, 9,  0.42,  6, 0.000, 0.003, 0.0,  1, 0.06, 0.05, 0.0, 1.4},
+    {"eon",        82, 0, false, false,  80, 11, 0.32,  9, 0.000, 0.002, 0.0,  1, 0.04, 0.04, 0.0, 1.8},
+    {"vortex",    102, 2, false, false, 160, 10, 0.26, 13, 0.000, 0.008, 0.0,  1, 0.05, 0.06, 0.5, 1.9},
+    {"gzip",       83, 2, false, false,  56, 10, 0.34,  9, 0.000, 0.005, 0.0,  1, 0.07, 0.05, 0.5, 1.6},
+    {"parser",     90, 2, false, false, 112, 9,  0.32, 10, 0.004, 0.010, 0.0,  1, 0.09, 0.08, 0.5, 1.4},
+    {"gap",       208, 0, false, false,  72, 12, 0.08, 44, 0.000, 0.004, 0.0,  1, 0.03, 0.03, 0.0, 2.4},
+    {"crafty",    125, 2, false, false, 224, 10, 0.22, 17, 0.000, 0.005, 0.0,  1, 0.10, 0.06, 0.5, 1.6},
+    {"gcc",       112, 2, false, false, 512, 11, 0.25, 14, 0.002, 0.010, 0.0,  1, 0.08, 0.06, 0.5, 1.4},
+    {"apsi",      127, 0, true,  false,  96, 12, 0.20, 18, 0.000, 0.008, 0.0,  1, 0.02, 0.03, 0.0, 2.0},
+    {"fma3d",      72, 0, true,  false,  88, 11, 0.35,  8, 0.000, 0.004, 0.0,  1, 0.02, 0.03, 0.0, 1.6},
+    {"wupwise",   161, 0, true,  false,  64, 13, 0.12, 28, 0.000, 0.004, 0.0,  1, 0.01, 0.02, 0.0, 2.4},
+    {"mesa",      110, 0, true,  false, 112, 11, 0.24, 15, 0.000, 0.004, 0.0,  1, 0.03, 0.03, 0.0, 1.9},
+    {"equake",    100, 0, true,  true,   72, 11, 0.30, 12, 0.035, 0.060, 0.25, 3, 0.03, 0.08, 0.0, 0.6},
+    {"vpr",       180, 2, false, true,   96, 10, 0.18, 22, 0.025, 0.060, 0.45, 4, 0.08, 0.10, 0.6, 0.6},
+    {"mcf",        97, 1, false, true,   64, 9,  0.62,  8, 0.110, 0.080, 0.05, 2, 0.07, 0.22, 0.7, 0.1},
+    {"twolf",     184, 2, false, true,   96, 10, 0.16, 24, 0.030, 0.070, 0.45, 4, 0.08, 0.10, 0.6, 0.5},
+    {"art",       176, 0, true,  true,   56, 11, 0.08, 26, 0.095, 0.050, 0.70, 8, 0.04, 0.10, 0.0, 0.4},
+    {"lucas",      64, 0, true,  true,   48, 12, 0.50,  6, 0.050, 0.050, 0.05, 2, 0.02, 0.06, 0.0, 0.4},
+    {"ammp",      173, 2, true,  true,   88, 11, 0.14, 22, 0.045, 0.060, 0.55, 6, 0.03, 0.08, 0.6, 0.5},
+    {"swim",      213, 0, true,  true,   48, 13, 0.05, 34, 0.110, 0.040, 0.80, 10, 0.01, 0.04, 0.0, 0.5},
+    {"applu",     112, 0, true,  true,   64, 12, 0.24, 15, 0.070, 0.050, 0.40, 4, 0.02, 0.05, 0.0, 0.7},
+};
+
+struct Registry
+{
+    std::vector<std::string> names;
+    std::map<std::string, SpecInfo> info;
+    std::map<std::string, ProfileParams> params;
+
+    Registry()
+    {
+        std::uint64_t seed = 101;
+        for (const ModelRow &row : kModelTable) {
+            names.push_back(row.name);
+            info[row.name] = SpecInfo{row.name, row.paperRsc, row.freq,
+                                      row.fp, row.mem};
+
+            ProfileParams pp;
+            pp.name = row.name;
+            pp.seed = seed;
+            seed += 7919;
+            pp.isFp = row.fp;
+            pp.isMem = row.mem;
+            pp.numBlocks = row.blocks;
+            pp.avgBlockLen = row.blockLen;
+            pp.fpFrac = row.fp ? 0.45 : 0.0;
+            pp.loadFrac = row.mem ? 0.30 : 0.26;
+            pp.storeFrac = 0.10;
+            pp.mulFrac = row.fp ? 0.06 : 0.04;
+            pp.randomBranchFrac = row.randBr;
+            pp.branchDependsOnLoad = row.brLoadDep;
+            pp.serialFrac = row.serial;
+            pp.meanDepDist = row.depDist;
+            pp.pLoadWarm = row.pWarm;
+            pp.pLoadCold = row.pCold;
+            pp.burstProb = row.burstP;
+            pp.burstMax = row.burstMax;
+            pp.hotBytes = row.mem ? 24 * 1024 : 16 * 1024;
+            pp.warmBytes = 384 * 1024;
+            pp.freqClass = row.freq;
+            pp.phaseSwing = row.swing;
+            pp.ipcEstimate = row.ipcEst;
+            params[row.name] = pp;
+        }
+    }
+};
+
+const Registry &
+registry()
+{
+    static const Registry reg;
+    return reg;
+}
+
+} // namespace
+
+const std::vector<std::string> &
+specBenchmarkNames()
+{
+    return registry().names;
+}
+
+const SpecInfo &
+specInfo(const std::string &name)
+{
+    auto it = registry().info.find(name);
+    if (it == registry().info.end())
+        fatal(msg("unknown benchmark: ", name));
+    return it->second;
+}
+
+const ProfileParams &
+specParams(const std::string &name)
+{
+    auto it = registry().params.find(name);
+    if (it == registry().params.end())
+        fatal(msg("unknown benchmark: ", name));
+    return it->second;
+}
+
+ProgramProfile
+specProfile(const std::string &name)
+{
+    return buildProfile(specParams(name));
+}
+
+bool
+isSpecBenchmark(const std::string &name)
+{
+    return registry().info.count(name) != 0;
+}
+
+} // namespace smthill

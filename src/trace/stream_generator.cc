@@ -1,0 +1,260 @@
+#include "trace/stream_generator.hh"
+
+#include <algorithm>
+
+namespace smthill
+{
+
+namespace
+{
+
+/** Cold region starts far above hot and warm so regions never alias. */
+constexpr Addr kColdRegionBase = 0x4000'0000;
+constexpr Addr kColdRegionSpan = 0x2000'0000;
+constexpr int kMaxDepDist = 512;
+
+} // namespace
+
+StreamGenerator::StreamGenerator(ProgramProfile profile,
+                                 std::uint64_t stream_seed)
+    : prof(std::move(profile)),
+      rng(prof.seed * 0x2545'f491'4f6c'dd1dULL + stream_seed * 977 + 3)
+{
+    prof.validate();
+    blockPcs.reserve(prof.blocks.size());
+    for (std::uint32_t i = 0; i < prof.blocks.size(); ++i)
+        blockPcs.push_back(prof.blockPc(i));
+    loopTrip.assign(prof.blocks.size(), 0);
+    coldTick.assign(prof.blocks.size(), 0);
+    warmTick.assign(prof.blocks.size(), 0);
+    // Desynchronize the per-block miss phases so blocks don't all
+    // miss on the same iteration.
+    for (std::size_t i = 0; i < prof.blocks.size(); ++i) {
+        coldTick[i] = static_cast<std::uint32_t>(rng.nextBelow(64));
+        warmTick[i] = static_cast<std::uint32_t>(rng.nextBelow(64));
+    }
+    phaseIdx = 0;
+    phaseRemaining = prof.phases[0].lengthInsts;
+    coldPtr = kColdRegionBase + (rng.next() % kColdRegionSpan & ~Addr{63});
+    warmPtr = rng.nextBelow(std::max<std::uint64_t>(prof.warmBytes, 64)) &
+              ~Addr{63};
+}
+
+Addr
+StreamGenerator::nextWarmAddr()
+{
+    // Stride through the warm region a cache line at a time, like a
+    // loop sweeping an L2-resident array: one pass during warm-up
+    // makes the whole region L2-resident, after which every access is
+    // a deterministic DL1-miss/L2-hit.
+    warmPtr += 64;
+    if (warmPtr >= prof.warmBytes)
+        warmPtr = 0;
+    return prof.dataBase + prof.hotBytes + warmPtr;
+}
+
+void
+StreamGenerator::tickPhase()
+{
+    ++emitted;
+    ++sinceLastLoad;
+    if (--phaseRemaining == 0) {
+        phaseIdx = (phaseIdx + 1) % prof.phases.size();
+        phaseRemaining = prof.phases[phaseIdx].lengthInsts;
+        burstRemaining = 0;
+    }
+}
+
+OpClass
+StreamGenerator::pickOp(const BlockSpec &block)
+{
+    const OpMix &m = block.mix;
+    double total = m.intAlu + m.intMul + m.fpAlu + m.fpMul + m.load +
+                   m.store;
+    double r = rng.nextDouble() * total;
+    if ((r -= m.load) < 0)
+        return OpClass::Load;
+    if ((r -= m.store) < 0)
+        return OpClass::Store;
+    if ((r -= m.intAlu) < 0)
+        return OpClass::IntAlu;
+    if ((r -= m.intMul) < 0)
+        return OpClass::IntMul;
+    if ((r -= m.fpAlu) < 0)
+        return OpClass::FpAlu;
+    return OpClass::FpMul;
+}
+
+void
+StreamGenerator::assignDeps(SynthInst &inst, bool force_independent)
+{
+    const PhaseSpec &ph = prof.phases[phaseIdx];
+    if (force_independent) {
+        // Clustered cache misses must be mutually independent so the
+        // machine can overlap them; their address operands are ready.
+        inst.srcDist[0] = 0;
+        inst.srcDist[1] = 0;
+        return;
+    }
+    auto draw = [&]() -> std::int32_t {
+        if (rng.chance(ph.serialFrac))
+            return 1;
+        int d = rng.nextGeometric(1.0 / std::max(1, ph.meanDepDist),
+                                  kMaxDepDist);
+        return static_cast<std::int32_t>(d);
+    };
+    std::int32_t d0 = draw();
+    inst.srcDist[0] = std::min<std::int32_t>(
+        d0, static_cast<std::int32_t>(
+                std::min<std::uint64_t>(emitted, kMaxDepDist)));
+    if (rng.chance(0.35)) {
+        std::int32_t d1 = draw();
+        inst.srcDist[1] = std::min<std::int32_t>(
+            d1, static_cast<std::int32_t>(
+                    std::min<std::uint64_t>(emitted, kMaxDepDist)));
+    }
+}
+
+Addr
+StreamGenerator::pickLoadAddr(bool &is_burst_miss)
+{
+    const PhaseSpec &ph = prof.phases[phaseIdx];
+    const double bias = prof.blocks[curBlock].memBias;
+    is_burst_miss = false;
+
+    // Misses arrive *periodically* per block, the way strided loops
+    // cross cache-line boundaries every Nth access — not as Bernoulli
+    // noise. This keeps per-epoch miss rates stable, which is what
+    // makes epoch-to-epoch performance feedback learnable
+    // (Section 3.3.1's hill shape).
+    bool cold = false;
+    double p_cold = std::min(0.95, ph.pLoadCold * bias);
+    double p_warm = std::min(0.90, ph.pLoadWarm * bias);
+    if (burstRemaining > 0) {
+        cold = true;
+        --burstRemaining;
+        is_burst_miss = true;
+    } else {
+        if (p_cold > 0.0) {
+            auto period =
+                static_cast<std::uint32_t>(1.0 / p_cold + 0.5);
+            if (++coldTick[curBlock] >= std::max(1u, period)) {
+                coldTick[curBlock] = 0;
+                cold = true;
+                if (ph.burstMax > 1 && rng.chance(ph.burstProb)) {
+                    burstRemaining = static_cast<int>(
+                        rng.nextRange(1, ph.burstMax - 1));
+                    is_burst_miss = true;
+                }
+            }
+        }
+        if (!cold && p_warm > 0.0) {
+            auto period =
+                static_cast<std::uint32_t>(1.0 / p_warm + 0.5);
+            if (++warmTick[curBlock] >= std::max(1u, period)) {
+                warmTick[curBlock] = 0;
+                return nextWarmAddr();
+            }
+        }
+    }
+
+    if (cold) {
+        // Stream through a huge region a full cache line at a time so
+        // every cold access is a compulsory miss in DL1 and UL2.
+        coldPtr += 64;
+        if (coldPtr >= kColdRegionBase + kColdRegionSpan)
+            coldPtr = kColdRegionBase;
+        return coldPtr;
+    }
+
+    Addr off =
+        rng.nextBelow(std::max<std::uint64_t>(prof.hotBytes, 64)) & ~Addr{7};
+    return prof.dataBase + off;
+}
+
+Addr
+StreamGenerator::pickStoreAddr()
+{
+    // Stores mostly hit the hot region (stack/locals); their
+    // propensity to touch the warm region mirrors the loads', so
+    // cache-quiet (ILP) programs stay quiet on the store side too.
+    const PhaseSpec &ph = prof.phases[phaseIdx];
+    double p_warm = std::min(
+        0.5, (ph.pLoadWarm + ph.pLoadCold) *
+                 prof.blocks[curBlock].memBias);
+    if (rng.chance(p_warm))
+        return nextWarmAddr();
+    Addr off =
+        rng.nextBelow(std::max<std::uint64_t>(prof.hotBytes, 64)) & ~Addr{7};
+    return prof.dataBase + off;
+}
+
+SynthInst
+StreamGenerator::next()
+{
+    const BlockSpec &block = prof.blocks[curBlock];
+    SynthInst inst;
+    inst.blockId = curBlock;
+    inst.pc = blockPcs[curBlock] + Addr{posInBlock} * 4;
+
+    if (posInBlock < block.length) {
+        inst.op = pickOp(block);
+        if (inst.op == OpClass::Load) {
+            bool burst = false;
+            inst.effAddr = pickLoadAddr(burst);
+            assignDeps(inst, burst);
+            sinceLastLoad = 0;
+        } else if (inst.op == OpClass::Store) {
+            inst.effAddr = pickStoreAddr();
+            assignDeps(inst, false);
+        } else {
+            assignDeps(inst, false);
+        }
+        ++posInBlock;
+        tickPhase();
+        return inst;
+    }
+
+    // Block-terminating branch.
+    inst.op = OpClass::Branch;
+    std::uint32_t next_block;
+    switch (block.branch) {
+      case BranchKind::Loop:
+        if (++loopTrip[curBlock] < block.tripCount) {
+            inst.taken = true;
+            next_block = block.takenTarget;
+        } else {
+            loopTrip[curBlock] = 0;
+            inst.taken = false;
+            next_block = block.fallTarget;
+        }
+        break;
+      case BranchKind::Biased:
+      case BranchKind::Random:
+        inst.taken = rng.chance(block.takenProb);
+        next_block = inst.taken ? block.takenTarget : block.fallTarget;
+        break;
+      default:
+        next_block = block.fallTarget;
+        break;
+    }
+    inst.target = blockPcs[next_block];
+
+    // A branch often tests a recently computed value; with some
+    // probability that value is the most recent load, which makes the
+    // branch resolve late when the load misses (expensive mispredict).
+    if (sinceLastLoad > 0 && sinceLastLoad < kMaxDepDist &&
+        rng.chance(prof.branchDependsOnLoad)) {
+        inst.srcDist[0] = static_cast<std::int32_t>(sinceLastLoad);
+    } else {
+        inst.srcDist[0] = static_cast<std::int32_t>(
+            std::min<std::uint64_t>(emitted, rng.nextRange(1, 4)));
+    }
+
+    curBlock = next_block;
+    posInBlock = 0;
+    tickPhase();
+    return inst;
+}
+
+} // namespace smthill

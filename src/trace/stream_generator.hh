@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Deterministic synthetic instruction stream generator.
+ *
+ * A StreamGenerator walks a ProgramProfile's CFG and emits SynthInst
+ * records one at a time. All of its state is held by value, so a copy
+ * of a generator resumes the stream at exactly the same point — this
+ * is what lets the SMT core checkpoint whole machines for OFF-LINE
+ * exhaustive learning and RAND-HILL.
+ */
+
+#ifndef SMTHILL_TRACE_STREAM_GENERATOR_HH
+#define SMTHILL_TRACE_STREAM_GENERATOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "trace/instruction.hh"
+#include "trace/program_profile.hh"
+
+namespace smthill
+{
+
+/** Generates the dynamic instruction stream of one thread. */
+class StreamGenerator
+{
+  public:
+    /**
+     * @param profile the benchmark description (copied in)
+     * @param stream_seed extra seed entropy (e.g., the thread id) so
+     *        two instances of the same benchmark do not emit
+     *        identical streams
+     */
+    explicit StreamGenerator(ProgramProfile profile,
+                             std::uint64_t stream_seed = 0);
+
+    /** Emit the next dynamic instruction. */
+    SynthInst next();
+
+    /** @return number of instructions emitted so far. */
+    std::uint64_t emittedCount() const { return emitted; }
+
+    /** @return the profile driving this stream. */
+    const ProgramProfile &profile() const { return prof; }
+
+    /** @return index of the currently active phase. */
+    std::size_t currentPhase() const { return phaseIdx; }
+
+  private:
+    /** Advance the phase schedule by one emitted instruction. */
+    void tickPhase();
+
+    /** Pick an op class from the current block's mix. */
+    OpClass pickOp(const BlockSpec &block);
+
+    /** Fill in source dependence distances for a new instruction. */
+    void assignDeps(SynthInst &inst, bool force_independent);
+
+    /** Pick a data address for a load. */
+    Addr pickLoadAddr(bool &is_burst_miss);
+
+    /** Pick a data address for a store. */
+    Addr pickStoreAddr();
+
+    /** Advance the strided warm-region pointer and return it. */
+    Addr nextWarmAddr();
+
+    ProgramProfile prof;
+    std::vector<Addr> blockPcs;   ///< precomputed block start PCs
+    std::vector<std::uint32_t> loopTrip; ///< per-block live trip count
+    std::vector<std::uint32_t> coldTick; ///< per-block cold-miss phase
+    std::vector<std::uint32_t> warmTick; ///< per-block warm-miss phase
+
+    Rng rng;
+    std::uint64_t emitted = 0;
+
+    std::uint32_t curBlock = 0;
+    std::uint32_t posInBlock = 0;
+
+    std::size_t phaseIdx = 0;
+    std::uint64_t phaseRemaining = 0;
+
+    Addr coldPtr = 0;             ///< streaming pointer (cold region)
+    Addr warmPtr = 0;             ///< strided pointer (warm region)
+    int burstRemaining = 0;       ///< cold-miss MLP burst in progress
+    std::uint32_t sinceLastLoad = 0; ///< distance to last emitted load
+};
+
+} // namespace smthill
+
+#endif // SMTHILL_TRACE_STREAM_GENERATOR_HH

@@ -1,0 +1,218 @@
+#include "workload/workloads.hh"
+
+#include <sstream>
+
+#include "common/log.hh"
+#include "common/rng.hh"
+#include "memory/hierarchy.hh" // kMaxThreads
+#include "trace/spec_profiles.hh"
+
+namespace smthill
+{
+
+namespace
+{
+
+Workload
+make(const char *group, std::initializer_list<const char *> names,
+     bool reconstructed = false)
+{
+    Workload w;
+    w.group = group;
+    w.reconstructed = reconstructed;
+    std::ostringstream nm;
+    bool first = true;
+    for (const char *n : names) {
+        w.benchmarks.emplace_back(n);
+        if (!first)
+            nm << '-';
+        nm << n;
+        first = false;
+    }
+    w.name = nm.str();
+    return w;
+}
+
+std::vector<Workload>
+buildAll()
+{
+    std::vector<Workload> v;
+
+    // --- 2-thread workloads (verbatim from Table 3) ----------------
+    v.push_back(make("ILP2", {"apsi", "eon"}));
+    v.push_back(make("ILP2", {"fma3d", "gcc"}));
+    v.push_back(make("ILP2", {"gzip", "vortex"}));
+    v.push_back(make("ILP2", {"wupwise", "gcc"}));
+    v.push_back(make("ILP2", {"gzip", "bzip2"}));
+    v.push_back(make("ILP2", {"fma3d", "mesa"}));
+    v.push_back(make("ILP2", {"apsi", "gcc"}));
+
+    v.push_back(make("MIX2", {"applu", "vortex"}));
+    v.push_back(make("MIX2", {"art", "gzip"}));
+    v.push_back(make("MIX2", {"wupwise", "twolf"}));
+    v.push_back(make("MIX2", {"lucas", "crafty"}));
+    v.push_back(make("MIX2", {"mcf", "eon"}));
+    v.push_back(make("MIX2", {"twolf", "apsi"}));
+    v.push_back(make("MIX2", {"equake", "bzip2"}));
+
+    v.push_back(make("MEM2", {"applu", "ammp"}));
+    v.push_back(make("MEM2", {"art", "mcf"}));
+    v.push_back(make("MEM2", {"swim", "twolf"}));
+    v.push_back(make("MEM2", {"mcf", "twolf"}));
+    v.push_back(make("MEM2", {"art", "vpr"}));
+    v.push_back(make("MEM2", {"art", "twolf"}));
+    v.push_back(make("MEM2", {"swim", "mcf"}));
+
+    // --- 4-thread workloads ----------------------------------------
+    v.push_back(make("ILP4", {"apsi", "eon", "fma3d", "gcc"}));
+    v.push_back(make("ILP4", {"apsi", "eon", "gzip", "vortex"}));
+    v.push_back(make("ILP4", {"fma3d", "gcc", "gzip", "vortex"}));
+    v.push_back(make("ILP4", {"mesa", "bzip2", "eon", "gcc"}, true));
+    v.push_back(make("ILP4", {"mesa", "gzip", "fma3d", "bzip2"}, true));
+    v.push_back(make("ILP4", {"crafty", "fma3d", "apsi", "vortex"}));
+    v.push_back(make("ILP4", {"apsi", "gap", "wupwise", "perlbmk"}));
+
+    v.push_back(make("MIX4", {"ammp", "applu", "apsi", "eon"}));
+    v.push_back(make("MIX4", {"art", "mcf", "fma3d", "gcc"}));
+    v.push_back(make("MIX4", {"swim", "twolf", "gzip", "vortex"}));
+    v.push_back(make("MIX4", {"gzip", "twolf", "bzip2", "mcf"}));
+    v.push_back(make("MIX4", {"mcf", "mesa", "lucas", "gzip"}));
+    v.push_back(make("MIX4", {"art", "gap", "twolf", "crafty"}, true));
+    v.push_back(make("MIX4", {"swim", "mcf", "vpr", "crafty"}, true));
+
+    v.push_back(make("MEM4", {"ammp", "applu", "art", "mcf"}));
+    v.push_back(make("MEM4", {"art", "mcf", "swim", "twolf"}));
+    v.push_back(make("MEM4", {"ammp", "applu", "swim", "twolf"}));
+    v.push_back(make("MEM4", {"mcf", "twolf", "vpr", "parser"}));
+    v.push_back(make("MEM4", {"art", "twolf", "equake", "mcf"}));
+    v.push_back(make("MEM4", {"equake", "parser", "mcf", "lucas"}));
+    v.push_back(make("MEM4", {"art", "mcf", "vpr", "swim"}));
+
+    return v;
+}
+
+} // namespace
+
+int
+Workload::paperRscSum() const
+{
+    int sum = 0;
+    for (const auto &b : benchmarks)
+        sum += specInfo(b).paperRsc;
+    return sum;
+}
+
+std::vector<StreamGenerator>
+Workload::makeGenerators(std::uint64_t seed_salt) const
+{
+    std::vector<StreamGenerator> gens;
+    gens.reserve(benchmarks.size());
+    for (std::size_t i = 0; i < benchmarks.size(); ++i) {
+        gens.emplace_back(specProfile(benchmarks[i]),
+                          seed_salt * 131 + i);
+    }
+    return gens;
+}
+
+const std::vector<Workload> &
+allWorkloads()
+{
+    static const std::vector<Workload> all = buildAll();
+    return all;
+}
+
+std::vector<Workload>
+twoThreadWorkloads()
+{
+    std::vector<Workload> out;
+    for (const auto &w : allWorkloads())
+        if (w.numThreads() == 2)
+            out.push_back(w);
+    return out;
+}
+
+std::vector<Workload>
+fourThreadWorkloads()
+{
+    std::vector<Workload> out;
+    for (const auto &w : allWorkloads())
+        if (w.numThreads() == 4)
+            out.push_back(w);
+    return out;
+}
+
+std::vector<Workload>
+workloadsInGroup(const std::string &group)
+{
+    std::vector<Workload> out;
+    for (const auto &w : allWorkloads())
+        if (w.group == group)
+            out.push_back(w);
+    if (out.empty())
+        fatal(msg("unknown workload group: ", group));
+    return out;
+}
+
+const Workload &
+workloadByName(const std::string &name)
+{
+    for (const auto &w : allWorkloads())
+        if (w.name == name)
+            return w;
+    fatal(msg("unknown workload: ", name));
+}
+
+const std::vector<std::string> &
+workloadGroups()
+{
+    static const std::vector<std::string> groups = {
+        "ILP2", "MIX2", "MEM2", "ILP4", "MIX4", "MEM4"};
+    return groups;
+}
+
+Workload
+makeCustomWorkload(const std::vector<std::string> &benchmarks)
+{
+    if (benchmarks.empty() ||
+        benchmarks.size() > static_cast<std::size_t>(kMaxThreads))
+        fatal("makeCustomWorkload: need 1..8 benchmarks");
+    Workload w;
+    int mem = 0;
+    std::ostringstream nm;
+    for (std::size_t i = 0; i < benchmarks.size(); ++i) {
+        mem += specInfo(benchmarks[i]).isMem; // validates the name
+        w.benchmarks.push_back(benchmarks[i]);
+        if (i)
+            nm << '-';
+        nm << benchmarks[i];
+    }
+    w.name = nm.str();
+    const char *kind = mem == 0 ? "ILP"
+                       : mem == static_cast<int>(benchmarks.size())
+                           ? "MEM"
+                           : "MIX";
+    w.group = std::string(kind) + std::to_string(benchmarks.size());
+    return w;
+}
+
+Workload
+randomWorkload(int threads, std::uint64_t seed)
+{
+    if (threads < 1 || threads > kMaxThreads)
+        fatal("randomWorkload: bad thread count");
+    Rng rng(seed * 0x9e37'79b9'7f4a'7c15ULL + 1);
+    const auto &names = specBenchmarkNames();
+    std::vector<std::string> picked;
+    while (static_cast<int>(picked.size()) < threads) {
+        const std::string &cand =
+            names[rng.nextBelow(names.size())];
+        bool dup = false;
+        for (const auto &p : picked)
+            dup = dup || p == cand;
+        if (!dup)
+            picked.push_back(cand);
+    }
+    return makeCustomWorkload(picked);
+}
+
+} // namespace smthill

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The multiprogrammed workloads of Table 3: 21 two-thread and 21
+ * four-thread combinations of the Table 2 benchmarks, in three groups
+ * each — ILP (high-ILP programs only), MEM (memory-intensive only),
+ * and MIX (both kinds).
+ *
+ * A few of the 4-thread ILP/MIX compositions are partially illegible
+ * in the available paper text; those rows are reconstructed from the
+ * legible fragments plus the published "Rsc" sums, and are marked
+ * `reconstructed` below. All MEM4 rows and all 2-thread rows are
+ * verbatim from the paper.
+ */
+
+#ifndef SMTHILL_WORKLOAD_WORKLOADS_HH
+#define SMTHILL_WORKLOAD_WORKLOADS_HH
+
+#include <string>
+#include <vector>
+
+#include "trace/program_profile.hh"
+#include "trace/stream_generator.hh"
+
+namespace smthill
+{
+
+/** One multiprogrammed workload. */
+struct Workload
+{
+    std::string name;                    ///< e.g. "art-mcf"
+    std::vector<std::string> benchmarks; ///< Table 2 benchmark names
+    std::string group;                   ///< ILP2/MIX2/MEM2/ILP4/...
+    bool reconstructed = false;          ///< see file comment
+
+    int numThreads() const
+    {
+        return static_cast<int>(benchmarks.size());
+    }
+
+    /** Sum of the paper's Table 2 "Rsc" values (Table 3 column). */
+    int paperRscSum() const;
+
+    /** Build one stream generator per thread. */
+    std::vector<StreamGenerator> makeGenerators(
+        std::uint64_t seed_salt = 0) const;
+};
+
+/** @return all 42 workloads, 2-thread groups first. */
+const std::vector<Workload> &allWorkloads();
+
+/** @return the 21 two-thread workloads. */
+std::vector<Workload> twoThreadWorkloads();
+
+/** @return the 21 four-thread workloads. */
+std::vector<Workload> fourThreadWorkloads();
+
+/** @return workloads in one group ("ILP2", "MIX4", ...). */
+std::vector<Workload> workloadsInGroup(const std::string &group);
+
+/** @return the workload named @p name (fatal if unknown). */
+const Workload &workloadByName(const std::string &name);
+
+/** @return the six group names in presentation order. */
+const std::vector<std::string> &workloadGroups();
+
+/**
+ * Build a custom multiprogrammed workload from Table 2 benchmark
+ * names (for experiments beyond the paper's 42 combinations). The
+ * group label is derived from the members' categories.
+ */
+Workload makeCustomWorkload(const std::vector<std::string> &benchmarks);
+
+/**
+ * Draw a random workload of @p threads members (with repetition
+ * allowed across different workloads but not within one) — used by
+ * the stress/property tests.
+ */
+Workload randomWorkload(int threads, std::uint64_t seed);
+
+} // namespace smthill
+
+#endif // SMTHILL_WORKLOAD_WORKLOADS_HH

@@ -1,0 +1,262 @@
+/**
+ * @file
+ * Unit tests for partition enforcement, fetch-locking at partition
+ * limits, and the FLUSH squash machinery (Section 3.2 mechanisms).
+ */
+
+#include <gtest/gtest.h>
+
+#include "pipeline/cpu.hh"
+#include "trace/program_profile.hh"
+
+namespace smthill
+{
+namespace
+{
+
+ProgramProfile
+profileWith(double p_cold, const char *name = "toy")
+{
+    ProfileParams pp;
+    pp.name = name;
+    pp.numBlocks = 12;
+    pp.avgBlockLen = 8;
+    pp.pLoadCold = p_cold;
+    pp.meanDepDist = 16;
+    pp.serialFrac = 0.1;
+    return buildProfile(pp);
+}
+
+SmtCpu
+makeCpu2(double cold0, double cold1)
+{
+    SmtConfig cfg;
+    cfg.numThreads = 2;
+    std::vector<StreamGenerator> gens;
+    gens.emplace_back(profileWith(cold0, "t0"), 0);
+    gens.emplace_back(profileWith(cold1, "t1"), 1);
+    return SmtCpu(cfg, std::move(gens));
+}
+
+TEST(Partitioning, OccupancyRespectsLimits)
+{
+    SmtCpu cpu = makeCpu2(0.2, 0.0);
+    Partition p;
+    p.numThreads = 2;
+    p.share = {64, 192};
+    cpu.setPartition(p);
+    DerivedLimits lim = deriveLimits(p, cpu.config());
+    for (int i = 0; i < 30000; ++i) {
+        cpu.step();
+        const Occupancy &o = cpu.occupancy();
+        for (int t = 0; t < 2; ++t) {
+            ASSERT_LE(o.intRegs[t], lim.intRegs[t]) << "thread " << t;
+            ASSERT_LE(o.intIq[t], lim.intIq[t]) << "thread " << t;
+            ASSERT_LE(o.rob[t], lim.rob[t]) << "thread " << t;
+        }
+    }
+}
+
+TEST(Partitioning, StarvedThreadStillProgresses)
+{
+    SmtCpu cpu = makeCpu2(0.0, 0.0);
+    Partition p;
+    p.numThreads = 2;
+    p.share = {8, 248};
+    cpu.setPartition(p);
+    cpu.run(50000);
+    EXPECT_GT(cpu.stats().committed[0], 1000u)
+        << "even a tiny partition guarantees forward progress";
+}
+
+TEST(Partitioning, PartitionShiftsThroughput)
+{
+    // Giving nearly everything to thread 0 must raise its IPC and
+    // lower thread 1's, relative to the reverse split.
+    SmtCpu base = makeCpu2(0.08, 0.08);
+    base.run(20000); // warm a little
+
+    SmtCpu a = base;
+    Partition pa;
+    pa.numThreads = 2;
+    pa.share = {224, 32};
+    a.setPartition(pa);
+    a.run(100000);
+
+    SmtCpu b = base;
+    Partition pb;
+    pb.numThreads = 2;
+    pb.share = {32, 224};
+    b.setPartition(pb);
+    b.run(100000);
+
+    std::uint64_t a0 = a.stats().committed[0] - base.stats().committed[0];
+    std::uint64_t a1 = a.stats().committed[1] - base.stats().committed[1];
+    std::uint64_t b0 = b.stats().committed[0] - base.stats().committed[0];
+    std::uint64_t b1 = b.stats().committed[1] - base.stats().committed[1];
+    EXPECT_GT(a0, b0);
+    EXPECT_GT(b1, a1);
+}
+
+TEST(Partitioning, ClearPartitionRestoresSharing)
+{
+    SmtCpu cpu = makeCpu2(0.0, 0.0);
+    cpu.setPartition(Partition::equal(2, 64));
+    EXPECT_TRUE(cpu.partitioningEnabled());
+    cpu.clearPartition();
+    EXPECT_FALSE(cpu.partitioningEnabled());
+    cpu.run(20000);
+    // Occupancy may now exceed what the old partition would allow.
+    EXPECT_GT(cpu.stats().committedTotal(), 10000u);
+}
+
+TEST(Partitioning, SetPartitionRejectsOverflow)
+{
+    SmtCpu cpu = makeCpu2(0.0, 0.0);
+    Partition p;
+    p.numThreads = 2;
+    p.share = {200, 200};
+    EXPECT_DEATH(cpu.setPartition(p), "shares sum");
+}
+
+TEST(Partitioning, SetPartitionRejectsWrongThreadCount)
+{
+    SmtCpu cpu = makeCpu2(0.0, 0.0);
+    Partition p = Partition::equal(3, 256);
+    EXPECT_DEATH(cpu.setPartition(p), "thread-count mismatch");
+}
+
+TEST(Partitioning, LockCyclesAreCounted)
+{
+    SmtCpu cpu = makeCpu2(0.3, 0.0); // thread 0 clogs hard
+    Partition p;
+    p.numThreads = 2;
+    p.share = {16, 240};
+    cpu.setPartition(p);
+    cpu.run(50000);
+    EXPECT_GT(cpu.stats().partitionLockCycles[0], 100u);
+}
+
+TEST(Flush, SquashReleasesResources)
+{
+    SmtCpu cpu = makeCpu2(0.3, 0.0);
+    // Run until thread 0 has a decent backend footprint.
+    cpu.run(5000);
+    const Occupancy &o = cpu.occupancy();
+    int before_rob = o.rob[0];
+    int flushed = cpu.flushThreadAfter(0, 0); // squash ~everything
+    if (before_rob > 1) {
+        EXPECT_GT(flushed, 0);
+        EXPECT_LE(o.rob[0], before_rob);
+    }
+    // The machine must still be consistent and make progress.
+    cpu.run(20000);
+    EXPECT_GT(cpu.stats().committedTotal(), 3000u);
+}
+
+TEST(Flush, FlushedInstructionsAreRefetched)
+{
+    SmtCpu cpu = makeCpu2(0.1, 0.0);
+    cpu.run(4000);
+    auto committed_before = cpu.stats().committed[0];
+    auto fetched_before = cpu.stats().fetched[0];
+    int flushed = cpu.flushThreadAfter(0, committed_before + 2);
+    cpu.run(4000);
+    // The squashed instructions were re-fetched: total fetches exceed
+    // what a straight-line run would need.
+    EXPECT_GE(cpu.stats().fetched[0] - fetched_before,
+              static_cast<std::uint64_t>(flushed));
+    EXPECT_GT(cpu.stats().committed[0], committed_before);
+}
+
+TEST(Flush, ReplayedStreamMatchesUnflushedRun)
+{
+    // Flushing must not corrupt the architectural instruction stream:
+    // committed counts evolve identically to a no-flush twin once the
+    // pipeline refills (same generator stream replayed).
+    SmtCpu a = makeCpu2(0.05, 0.05);
+    SmtCpu b = a;
+    a.run(3000);
+    b.run(3000);
+    b.flushThreadAfter(0, b.stats().committed[0] + 1);
+    // Give the flushed machine time to refill and catch up: both must
+    // keep committing; stream contents are identical by construction
+    // (checked via determinism of the committed count trajectory
+    // being monotone and close).
+    a.run(30000);
+    b.run(30000);
+    std::uint64_t ca = a.stats().committed[0];
+    std::uint64_t cb = b.stats().committed[0];
+    EXPECT_NEAR(static_cast<double>(ca), static_cast<double>(cb),
+                static_cast<double>(ca) * 0.05 + 200);
+}
+
+TEST(Flush, FlushAfterFutureSeqIsNoop)
+{
+    SmtCpu cpu = makeCpu2(0.0, 0.0);
+    cpu.run(2000);
+    int flushed = cpu.flushThreadAfter(0, 1'000'000'000);
+    EXPECT_EQ(flushed, 0);
+}
+
+TEST(Flush, FlushCountsInStats)
+{
+    SmtCpu cpu = makeCpu2(0.2, 0.0);
+    cpu.run(5000);
+    auto before = cpu.stats().flushed[0];
+    int n = cpu.flushThreadAfter(0, cpu.stats().committed[0] + 1);
+    EXPECT_EQ(cpu.stats().flushed[0] - before,
+              static_cast<std::uint64_t>(n));
+}
+
+TEST(Flush, CheckpointAfterFlushReplays)
+{
+    SmtCpu cpu = makeCpu2(0.15, 0.0);
+    cpu.run(6000);
+    cpu.flushThreadAfter(0, cpu.stats().committed[0] + 4);
+    SmtCpu copy = cpu;
+    cpu.run(20000);
+    copy.run(20000);
+    EXPECT_EQ(cpu.stats().committed[0], copy.stats().committed[0]);
+    EXPECT_EQ(cpu.stats().committed[1], copy.stats().committed[1]);
+}
+
+TEST(OutstandingMisses, TrackedAndRetired)
+{
+    SmtCpu cpu = makeCpu2(0.4, 0.0);
+    cpu.run(3000);
+    // With a 40% cold-miss load mix there should regularly be misses
+    // in flight for thread 0 and none fabricated for thread 1.
+    int seen_t0 = 0;
+    for (int i = 0; i < 2000; ++i) {
+        cpu.step();
+        seen_t0 += cpu.dl1MissesInFlight(0) > 0;
+        for (const OutstandingMiss &m : cpu.outstandingMisses(0)) {
+            ASSERT_LE(m.issuedAt, cpu.now());
+            ASSERT_GT(m.completesAt, m.issuedAt);
+        }
+    }
+    EXPECT_GT(seen_t0, 500);
+}
+
+TEST(OutstandingMisses, ClearEventually)
+{
+    SmtCpu cpu = makeCpu2(0.05, 0.0);
+    cpu.run(5000);
+    cpu.setFetchLocked(0, true);
+    cpu.setFetchLocked(1, true);
+    cpu.run(3000); // all loads must complete
+    EXPECT_EQ(cpu.dl1MissesInFlight(0), 0);
+    EXPECT_EQ(cpu.dl1MissesInFlight(1), 0);
+}
+
+TEST(FrontEndCount, TracksIfqAndIqs)
+{
+    SmtCpu cpu = makeCpu2(0.0, 0.0);
+    cpu.run(1000);
+    const Occupancy &o = cpu.occupancy();
+    EXPECT_EQ(cpu.frontEndCount(0), o.ifq[0] + o.intIq[0] + o.fpIq[0]);
+}
+
+} // namespace
+} // namespace smthill

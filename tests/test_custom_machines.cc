@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Pipeline validation on non-default machine configurations: do the
+ * structural parameters actually bind? Commit width caps IPC, memory
+ * ports cap load throughput, a single fetch thread serializes the
+ * front end, tiny windows strangle MLP, and slower memory hurts
+ * memory-bound threads more than ILP threads.
+ */
+
+#include <gtest/gtest.h>
+
+#include "pipeline/cpu.hh"
+#include "trace/program_profile.hh"
+
+namespace smthill
+{
+namespace
+{
+
+ProgramProfile
+ilpProfile(const char *name = "ilp")
+{
+    ProfileParams pp;
+    pp.name = name;
+    pp.numBlocks = 12;
+    pp.avgBlockLen = 10;
+    pp.serialFrac = 0.05;
+    pp.meanDepDist = 24;
+    pp.pLoadWarm = 0.0;
+    pp.randomBranchFrac = 0.0;
+    return buildProfile(pp);
+}
+
+ProgramProfile
+memProfile(const char *name = "mem")
+{
+    ProfileParams pp;
+    pp.name = name;
+    pp.numBlocks = 12;
+    pp.avgBlockLen = 10;
+    pp.pLoadCold = 0.10;
+    pp.burstProb = 0.8;
+    pp.burstMax = 8;
+    pp.serialFrac = 0.05;
+    pp.meanDepDist = 30;
+    return buildProfile(pp);
+}
+
+double
+soloIpcOn(const SmtConfig &cfg, const ProgramProfile &prof,
+          Cycle warm = 300000, Cycle measure = 200000)
+{
+    std::vector<StreamGenerator> gens;
+    gens.emplace_back(prof, 0);
+    SmtCpu cpu(cfg, std::move(gens));
+    cpu.run(warm);
+    auto before = cpu.stats().committed[0];
+    cpu.run(measure);
+    return static_cast<double>(cpu.stats().committed[0] - before) /
+           static_cast<double>(measure);
+}
+
+TEST(CustomMachine, CommitWidthCapsIpc)
+{
+    SmtConfig narrow;
+    narrow.numThreads = 1;
+    narrow.commitWidth = 2;
+    double ipc = soloIpcOn(narrow, ilpProfile());
+    EXPECT_LE(ipc, 2.0);
+    EXPECT_GT(ipc, 1.0) << "the cap should actually be approached";
+
+    SmtConfig wide;
+    wide.numThreads = 1;
+    double wide_ipc = soloIpcOn(wide, ilpProfile());
+    EXPECT_GT(wide_ipc, ipc) << "8-wide commit must beat 2-wide";
+}
+
+TEST(CustomMachine, IssueWidthCapsIpc)
+{
+    SmtConfig narrow;
+    narrow.numThreads = 1;
+    narrow.issueWidth = 2;
+    double ipc = soloIpcOn(narrow, ilpProfile());
+    EXPECT_LE(ipc, 2.0);
+}
+
+TEST(CustomMachine, MemPortsBindLoadThroughput)
+{
+    // An ILP profile with ~36% memory ops: one port vs four.
+    SmtConfig one_port;
+    one_port.numThreads = 1;
+    one_port.memPorts = 1;
+    SmtConfig four_ports;
+    four_ports.numThreads = 1;
+    double one = soloIpcOn(one_port, ilpProfile());
+    double four = soloIpcOn(four_ports, ilpProfile());
+    EXPECT_GT(four, one * 1.1);
+    // With one port, total IPC can't exceed ~1/memFraction.
+    EXPECT_LT(one, 1.0 / 0.30);
+}
+
+TEST(CustomMachine, SmallWindowStranglesMlp)
+{
+    SmtConfig small;
+    small.numThreads = 1;
+    small.intRegs = 32;
+    small.robSize = 64;
+    small.intIqSize = 16;
+    small.lsqSize = 32;
+    SmtConfig big;
+    big.numThreads = 1;
+    double small_ipc = soloIpcOn(small, memProfile());
+    double big_ipc = soloIpcOn(big, memProfile());
+    EXPECT_GT(big_ipc, small_ipc * 1.5)
+        << "a bursty-MLP thread must benefit strongly from window";
+}
+
+TEST(CustomMachine, MemoryLatencyHurtsMemMoreThanIlp)
+{
+    SmtConfig fast;
+    fast.numThreads = 1;
+    SmtConfig slow = fast;
+    slow.mem.memFirstChunk = 600;
+
+    double ilp_fast = soloIpcOn(fast, ilpProfile());
+    double ilp_slow = soloIpcOn(slow, ilpProfile());
+    double mem_fast = soloIpcOn(fast, memProfile());
+    double mem_slow = soloIpcOn(slow, memProfile());
+
+    double ilp_loss = 1.0 - ilp_slow / ilp_fast;
+    double mem_loss = 1.0 - mem_slow / mem_fast;
+    EXPECT_LT(ilp_loss, 0.10) << "DL1-resident code barely notices";
+    EXPECT_GT(mem_loss, ilp_loss + 0.10);
+}
+
+TEST(CustomMachine, SingleFetchThreadStillWorks)
+{
+    SmtConfig cfg;
+    cfg.numThreads = 2;
+    cfg.fetchThreadsPerCycle = 1; // ICOUNT.1.8
+    std::vector<StreamGenerator> gens;
+    gens.emplace_back(ilpProfile("a"), 0);
+    gens.emplace_back(ilpProfile("b"), 1);
+    SmtCpu cpu(cfg, std::move(gens));
+    cpu.run(200000);
+    EXPECT_GT(cpu.stats().committed[0], 20000u);
+    EXPECT_GT(cpu.stats().committed[1], 20000u);
+}
+
+TEST(CustomMachine, Icount28BeatsIcount18OnIlpPair)
+{
+    // Two fetch threads per cycle exploit fetch fragmentation
+    // (groups end at taken branches), the classic ICOUNT.2.8 result.
+    auto run = [](int fetch_threads) {
+        SmtConfig cfg;
+        cfg.numThreads = 2;
+        cfg.fetchThreadsPerCycle = fetch_threads;
+        std::vector<StreamGenerator> gens;
+        gens.emplace_back(ilpProfile("a"), 0);
+        gens.emplace_back(ilpProfile("b"), 1);
+        SmtCpu cpu(cfg, std::move(gens));
+        cpu.run(300000);
+        auto before = cpu.stats().committedTotal();
+        cpu.run(200000);
+        return static_cast<double>(cpu.stats().committedTotal() -
+                                   before);
+    };
+    EXPECT_GT(run(2), run(1) * 1.02);
+}
+
+TEST(CustomMachine, ZeroCycleRunIsNoop)
+{
+    SmtConfig cfg;
+    cfg.numThreads = 1;
+    std::vector<StreamGenerator> gens;
+    gens.emplace_back(ilpProfile(), 0);
+    SmtCpu cpu(cfg, std::move(gens));
+    cpu.run(0);
+    EXPECT_EQ(cpu.now(), 0u);
+    EXPECT_EQ(cpu.stats().committedTotal(), 0u);
+}
+
+TEST(CustomMachine, EightContextsRun)
+{
+    SmtConfig cfg;
+    cfg.numThreads = 8;
+    std::vector<StreamGenerator> gens;
+    for (int i = 0; i < 8; ++i)
+        gens.emplace_back(i % 2 ? ilpProfile("i") : memProfile("m"), i);
+    SmtCpu cpu(cfg, std::move(gens));
+    cpu.run(100000);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_GT(cpu.stats().committed[i], 500u) << i;
+}
+
+TEST(CustomMachine, RejectsTooManyThreads)
+{
+    SmtConfig cfg;
+    cfg.numThreads = 9;
+    EXPECT_DEATH(cfg.validate(), "numThreads");
+}
+
+TEST(CustomMachine, LongerL2LatencyLowersWarmIpc)
+{
+    ProfileParams pp;
+    pp.name = "warm";
+    pp.numBlocks = 12;
+    pp.avgBlockLen = 10;
+    pp.pLoadWarm = 0.2; // lots of L2 traffic
+    pp.serialFrac = 0.3;
+    SmtConfig fast;
+    fast.numThreads = 1;
+    SmtConfig slow = fast;
+    slow.mem.l2Latency = 60;
+    double f = soloIpcOn(fast, buildProfile(pp));
+    double s = soloIpcOn(slow, buildProfile(pp));
+    EXPECT_GT(f, s * 1.05);
+}
+
+} // namespace
+} // namespace smthill

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Unit tests for the memory hierarchy (latencies, inclusion of
+ * statistics, per-thread miss counters).
+ */
+
+#include <gtest/gtest.h>
+
+#include "memory/hierarchy.hh"
+
+namespace smthill
+{
+namespace
+{
+
+TEST(Hierarchy, ColdDataAccessGoesToMemory)
+{
+    MemoryHierarchy m;
+    auto res = m.dataAccess(0, 0x1000, false);
+    EXPECT_EQ(res.level, MemLevel::Memory);
+    EXPECT_EQ(res.latency, 1u + 20u + 300u);
+}
+
+TEST(Hierarchy, SecondAccessHitsL1)
+{
+    MemoryHierarchy m;
+    m.dataAccess(0, 0x1000, false);
+    auto res = m.dataAccess(0, 0x1000, false);
+    EXPECT_EQ(res.level, MemLevel::L1);
+    EXPECT_EQ(res.latency, 1u);
+}
+
+TEST(Hierarchy, L2HitAfterDl1Eviction)
+{
+    MemoryHierarchy m;
+    // Fill one DL1 set (2 ways) and evict; the line stays in the L2.
+    Addr dl1_set_stride = 512 * 64; // dl1: 512 sets
+    m.dataAccess(0, 0x0, false);
+    m.dataAccess(0, dl1_set_stride, false);
+    m.dataAccess(0, 2 * dl1_set_stride, false); // evicts 0x0 from DL1
+    auto res = m.dataAccess(0, 0x0, false);
+    EXPECT_EQ(res.level, MemLevel::L2);
+    EXPECT_EQ(res.latency, 21u);
+}
+
+TEST(Hierarchy, InstAccessUsesIl1)
+{
+    MemoryHierarchy m;
+    auto miss = m.instAccess(0, 0x400000);
+    EXPECT_EQ(miss.level, MemLevel::Memory);
+    auto hit = m.instAccess(0, 0x400000);
+    EXPECT_EQ(hit.level, MemLevel::L1);
+    EXPECT_EQ(hit.latency, 1u);
+}
+
+TEST(Hierarchy, InstAndDataDoNotShareL1)
+{
+    MemoryHierarchy m;
+    m.instAccess(0, 0x8000);
+    auto res = m.dataAccess(0, 0x8000, false);
+    EXPECT_EQ(res.level, MemLevel::L2) << "data should miss DL1 but hit "
+                                          "the unified L2";
+}
+
+TEST(Hierarchy, PerThreadMissCounters)
+{
+    MemoryHierarchy m;
+    m.dataAccess(0, 0x1000, false);
+    m.dataAccess(1, 0x2000, false);
+    m.dataAccess(1, 0x3000, false);
+    EXPECT_EQ(m.dl1Misses(0), 1u);
+    EXPECT_EQ(m.dl1Misses(1), 2u);
+    EXPECT_EQ(m.l2Misses(0), 1u);
+    EXPECT_EQ(m.l2Misses(1), 2u);
+}
+
+TEST(Hierarchy, Dl1MissL2HitCountsOnlyDl1)
+{
+    MemoryHierarchy m;
+    Addr dl1_set_stride = 512 * 64;
+    m.dataAccess(0, 0x0, false);
+    m.dataAccess(0, dl1_set_stride, false);
+    m.dataAccess(0, 2 * dl1_set_stride, false);
+    auto l2_before = m.l2Misses(0);
+    m.dataAccess(0, 0x0, false); // L2 hit
+    EXPECT_EQ(m.l2Misses(0), l2_before);
+}
+
+TEST(Hierarchy, CustomLatencies)
+{
+    MemoryConfig cfg;
+    cfg.l1Latency = 2;
+    cfg.l2Latency = 12;
+    cfg.memFirstChunk = 100;
+    MemoryHierarchy m(cfg);
+    EXPECT_EQ(m.dataAccess(0, 0x0, false).latency, 2u + 12u + 100u);
+    EXPECT_EQ(m.dataAccess(0, 0x0, false).latency, 2u);
+}
+
+TEST(Hierarchy, CopyIsIndependent)
+{
+    MemoryHierarchy a;
+    a.dataAccess(0, 0x1000, false);
+    MemoryHierarchy b = a;
+    b.dataAccess(0, 0x5000, false);
+    EXPECT_EQ(a.dl1Misses(0), 1u);
+    EXPECT_EQ(b.dl1Misses(0), 2u);
+    // The copied DL1 still holds the original line.
+    EXPECT_EQ(b.dataAccess(0, 0x1000, false).level, MemLevel::L1);
+}
+
+TEST(Hierarchy, WorkingSetBeyondL2Misses)
+{
+    MemoryHierarchy m;
+    // Stream 2 MB (twice the L2) twice; second pass must still miss.
+    for (Addr a = 0; a < 2 * 1024 * 1024; a += 64)
+        m.dataAccess(0, a, false);
+    auto before = m.l2Misses(0);
+    for (Addr a = 0; a < 2 * 1024 * 1024; a += 64)
+        m.dataAccess(0, a, false);
+    EXPECT_GT(m.l2Misses(0) - before, 16000u);
+}
+
+TEST(Hierarchy, WorkingSetUnderL2HitsAfterWarmup)
+{
+    MemoryHierarchy m;
+    for (int pass = 0; pass < 2; ++pass)
+        for (Addr a = 0; a < 256 * 1024; a += 64)
+            m.dataAccess(0, a, false);
+    auto before = m.l2Misses(0);
+    for (Addr a = 0; a < 256 * 1024; a += 64)
+        m.dataAccess(0, a, false);
+    EXPECT_EQ(m.l2Misses(0), before);
+}
+
+} // namespace
+} // namespace smthill

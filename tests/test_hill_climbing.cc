@@ -1,0 +1,289 @@
+/**
+ * @file
+ * Unit tests for the hill-climbing learner (Figure 8).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/hill_climbing.hh"
+#include "harness/runner.hh"
+#include "trace/program_profile.hh"
+
+namespace smthill
+{
+namespace
+{
+
+ProgramProfile
+profileWith(double p_cold, int dep, const char *name)
+{
+    ProfileParams pp;
+    pp.name = name;
+    pp.numBlocks = 12;
+    pp.avgBlockLen = 8;
+    pp.pLoadCold = p_cold;
+    pp.meanDepDist = dep;
+    pp.serialFrac = 0.1;
+    pp.burstProb = p_cold > 0 ? 0.6 : 0.0;
+    pp.burstMax = 6;
+    return buildProfile(pp);
+}
+
+SmtCpu
+asymmetricCpu()
+{
+    // Thread 0 profits from a large window (bursty misses); thread 1
+    // is a short-chain ILP thread that does not.
+    SmtConfig cfg;
+    cfg.numThreads = 2;
+    std::vector<StreamGenerator> gens;
+    gens.emplace_back(profileWith(0.08, 30, "mlp"), 0);
+    gens.emplace_back(profileWith(0.0, 6, "ilp"), 1);
+    SmtCpu cpu(cfg, std::move(gens));
+    cpu.run(100000); // warm
+    return cpu;
+}
+
+HillConfig
+fastConfig()
+{
+    HillConfig hc;
+    hc.epochSize = 16384;
+    hc.sampleSingleIpc = false;
+    hc.metric = PerfMetric::AvgIpc;
+    return hc;
+}
+
+TEST(HillClimbing, AttachInstallsEqualAnchorTrial)
+{
+    SmtCpu cpu = asymmetricCpu();
+    HillClimbing hill(fastConfig());
+    hill.attach(cpu);
+    EXPECT_TRUE(cpu.partitioningEnabled());
+    EXPECT_EQ(hill.anchor().share[0], 128);
+    // First trial favors thread 0 by Delta.
+    EXPECT_EQ(cpu.partition().share[0], 132);
+    EXPECT_EQ(cpu.partition().share[1], 124);
+}
+
+TEST(HillClimbing, RoundMovesAnchorAlongGradient)
+{
+    SmtCpu cpu = asymmetricCpu();
+    HillClimbing hill(fastConfig());
+    hill.attach(cpu);
+    Partition before = hill.anchor();
+    // Run one full round (N=2 epochs).
+    for (int e = 0; e < 2; ++e) {
+        runOneEpoch(cpu, hill, hill.config().epochSize);
+        hill.epoch(cpu, e);
+    }
+    Partition after = hill.anchor();
+    EXPECT_NE(before, after) << "the anchor must move every round";
+    EXPECT_EQ(after.total(), 256);
+    int moved = std::abs(after.share[0] - before.share[0]);
+    EXPECT_EQ(moved, 4) << "one round moves exactly Delta";
+}
+
+TEST(HillClimbing, ChargesSoftwareCost)
+{
+    SmtCpu cpu = asymmetricCpu();
+    HillConfig hc = fastConfig();
+    hc.softwareCost = 200;
+    HillClimbing hill(hc);
+    hill.attach(cpu);
+    runOneEpoch(cpu, hill, hc.epochSize);
+    auto committed = cpu.stats().committedTotal();
+    hill.epoch(cpu, 0);
+    cpu.run(200);
+    EXPECT_EQ(cpu.stats().committedTotal(), committed)
+        << "the 200-cycle software stall freezes commit";
+}
+
+TEST(HillClimbing, ClimbsTowardMlpThread)
+{
+    // A steep, monotone hill: thread 0 converts every extra window
+    // entry into overlapped misses, thread 1 is a serial chain that
+    // needs almost none. On a small machine the climber must walk
+    // decisively toward thread 0.
+    SmtConfig cfg;
+    cfg.numThreads = 2;
+    cfg.intRegs = 64;
+    cfg.robSize = 128;
+    cfg.intIqSize = 40;
+    cfg.lsqSize = 64;
+    cfg.fpRegs = 64;
+
+    ProfileParams win;
+    win.name = "window";
+    win.numBlocks = 12;
+    win.avgBlockLen = 8;
+    win.pLoadCold = 0.10;
+    win.burstProb = 0.9;
+    win.burstMax = 16;
+    win.serialFrac = 0.0;
+    win.meanDepDist = 64;
+
+    ProfileParams chain;
+    chain.name = "chain";
+    chain.numBlocks = 12;
+    chain.avgBlockLen = 8;
+    chain.serialFrac = 0.9;
+    chain.meanDepDist = 2;
+    chain.pLoadWarm = 0.0;
+
+    std::vector<StreamGenerator> gens;
+    gens.emplace_back(buildProfile(win), 0);
+    gens.emplace_back(buildProfile(chain), 1);
+    SmtCpu cpu(cfg, std::move(gens));
+    cpu.run(300000); // warm
+
+    HillClimbing hill(fastConfig());
+    hill.attach(cpu);
+    double mean_share0 = 0.0;
+    int counted = 0;
+    for (int e = 0; e < 40; ++e) {
+        runOneEpoch(cpu, hill, hill.config().epochSize);
+        hill.epoch(cpu, e);
+        if (e >= 20) {
+            mean_share0 += hill.anchor().share[0];
+            ++counted;
+        }
+    }
+    EXPECT_GT(mean_share0 / counted, 40.0)
+        << "anchor should spend its time well above the equal split "
+           "(32) on the window-hungry side";
+}
+
+TEST(HillClimbing, SamplingEpochRunsThreadSolo)
+{
+    SmtCpu cpu = asymmetricCpu();
+    HillConfig hc = fastConfig();
+    hc.metric = PerfMetric::WeightedIpc;
+    hc.sampleSingleIpc = true;
+    hc.samplePeriod = 3; // sample quickly for the test
+    HillClimbing hill(hc);
+    hill.attach(cpu);
+
+    bool sampled = false;
+    for (int e = 0; e < 12 && !sampled; ++e) {
+        runOneEpoch(cpu, hill, hc.epochSize);
+        hill.epoch(cpu, e);
+        if (hill.samplingActive()) {
+            sampled = true;
+            // Exactly one thread is enabled during the sample epoch.
+            int enabled = cpu.threadEnabled(0) + cpu.threadEnabled(1);
+            EXPECT_EQ(enabled, 1);
+            EXPECT_FALSE(cpu.partitioningEnabled());
+        }
+    }
+    ASSERT_TRUE(sampled);
+
+    // After the sampling epoch, estimates appear and execution
+    // resumes multithreaded.
+    runOneEpoch(cpu, hill, hc.epochSize);
+    hill.epoch(cpu, 99);
+    EXPECT_FALSE(hill.samplingActive());
+    EXPECT_TRUE(cpu.threadEnabled(0));
+    EXPECT_TRUE(cpu.threadEnabled(1));
+    EXPECT_TRUE(cpu.partitioningEnabled());
+    double est0 = hill.singleIpc()[0], est1 = hill.singleIpc()[1];
+    EXPECT_GT(est0 + est1, 0.0);
+}
+
+TEST(HillClimbing, SingleIpcEstimatesConverge)
+{
+    SmtCpu cpu = asymmetricCpu();
+    HillConfig hc = fastConfig();
+    hc.metric = PerfMetric::WeightedIpc;
+    hc.sampleSingleIpc = true;
+    hc.samplePeriod = 2;
+    HillClimbing hill(hc);
+    hill.attach(cpu);
+    for (int e = 0; e < 24; ++e) {
+        runOneEpoch(cpu, hill, hc.epochSize);
+        hill.epoch(cpu, e);
+    }
+    // Both threads must have been sampled by now.
+    EXPECT_GT(hill.singleIpc()[0], 0.0);
+    EXPECT_GT(hill.singleIpc()[1], 0.0);
+    // The ILP thread is much faster solo than the MLP thread.
+    EXPECT_GT(hill.singleIpc()[1], hill.singleIpc()[0]);
+}
+
+TEST(HillClimbing, NamesFollowMetric)
+{
+    HillConfig hc;
+    hc.metric = PerfMetric::AvgIpc;
+    EXPECT_EQ(HillClimbing(hc).name(), "HILL-IPC");
+    hc.metric = PerfMetric::WeightedIpc;
+    EXPECT_EQ(HillClimbing(hc).name(), "HILL-WIPC");
+    hc.metric = PerfMetric::HarmonicWeightedIpc;
+    EXPECT_EQ(HillClimbing(hc).name(), "HILL-HWIPC");
+}
+
+TEST(HillClimbing, CloneCopiesLearnedState)
+{
+    SmtCpu cpu = asymmetricCpu();
+    HillClimbing hill(fastConfig());
+    hill.attach(cpu);
+    for (int e = 0; e < 10; ++e) {
+        runOneEpoch(cpu, hill, hill.config().epochSize);
+        hill.epoch(cpu, e);
+    }
+    auto clone = hill.clone();
+    auto *hc = dynamic_cast<HillClimbing *>(clone.get());
+    ASSERT_NE(hc, nullptr);
+    EXPECT_EQ(hc->anchor(), hill.anchor());
+}
+
+TEST(HillClimbing, SharesNeverBelowFloor)
+{
+    SmtCpu cpu = asymmetricCpu();
+    HillConfig hc = fastConfig();
+    hc.minShare = 4;
+    HillClimbing hill(hc);
+    hill.attach(cpu);
+    for (int e = 0; e < 60; ++e) {
+        runOneEpoch(cpu, hill, hc.epochSize);
+        hill.epoch(cpu, e);
+        ASSERT_GE(cpu.partition().share[0], 4);
+        ASSERT_GE(cpu.partition().share[1], 4);
+        ASSERT_EQ(cpu.partition().total(), 256);
+    }
+}
+
+TEST(HillClimbing, FourThreadRoundsRotateTrials)
+{
+    SmtConfig cfg;
+    cfg.numThreads = 4;
+    std::vector<StreamGenerator> gens;
+    for (int i = 0; i < 4; ++i)
+        gens.emplace_back(profileWith(0.02 * i, 10, "t"), i);
+    SmtCpu cpu(cfg, std::move(gens));
+    cpu.run(50000);
+    HillClimbing hill(fastConfig());
+    hill.attach(cpu);
+    // Epoch e's trial favors thread e % 4.
+    for (int e = 0; e < 8; ++e) {
+        const Partition &trial = cpu.partition();
+        int favored = e % 4;
+        for (int i = 0; i < 4; ++i) {
+            if (i == favored)
+                EXPECT_GT(trial.share[i], hill.anchor().share[i] - 1);
+            else
+                EXPECT_LE(trial.share[i], hill.anchor().share[i]);
+        }
+        runOneEpoch(cpu, hill, hill.config().epochSize);
+        hill.epoch(cpu, e);
+    }
+}
+
+TEST(HillClimbing, RejectsBadConfig)
+{
+    HillConfig hc;
+    hc.delta = 0;
+    EXPECT_DEATH(HillClimbing h(hc), "delta");
+}
+
+} // namespace
+} // namespace smthill

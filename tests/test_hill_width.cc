@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Unit tests for the hill-width analysis (Section 3.3.1).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/hill_width.hh"
+
+namespace smthill
+{
+namespace
+{
+
+TEST(HillWidth, SharpPeakHasSmallWidth)
+{
+    std::vector<int> shares;
+    std::vector<double> curve;
+    for (int s = 16; s <= 240; s += 16) {
+        shares.push_back(s);
+        // A narrow spike at 128.
+        curve.push_back(s == 128 ? 1.0 : 0.5);
+    }
+    EXPECT_LE(hillWidth(shares, curve, 0.99), 16.0);
+}
+
+TEST(HillWidth, FlatCurveHasFullWidth)
+{
+    std::vector<int> shares;
+    std::vector<double> curve;
+    for (int s = 16; s <= 240; s += 16) {
+        shares.push_back(s);
+        curve.push_back(1.0);
+    }
+    EXPECT_DOUBLE_EQ(hillWidth(shares, curve, 0.99), 224.0);
+}
+
+TEST(HillWidth, GaussianHillWidthGrowsAsLevelDrops)
+{
+    std::vector<int> shares;
+    std::vector<double> curve;
+    for (int s = 2; s <= 254; s += 2) {
+        shares.push_back(s);
+        double x = (s - 128.0) / 60.0;
+        curve.push_back(std::exp(-x * x));
+    }
+    HillWidthProfile p = hillWidthProfile(shares, curve);
+    EXPECT_LT(p.w99, p.w98);
+    EXPECT_LT(p.w98, p.w95);
+    EXPECT_LT(p.w95, p.w90);
+}
+
+TEST(HillWidth, OffCenterPeak)
+{
+    // Peaks need not be at the middle of the partition space
+    // (Section 3.3.1 explicitly notes this).
+    std::vector<int> shares;
+    std::vector<double> curve;
+    for (int s = 16; s <= 240; s += 16) {
+        shares.push_back(s);
+        double x = (s - 48.0) / 30.0;
+        curve.push_back(std::exp(-x * x));
+    }
+    double w = hillWidth(shares, curve, 0.9);
+    EXPECT_GT(w, 0.0);
+    EXPECT_LT(w, 100.0);
+}
+
+TEST(HillWidth, OnlyContiguousRegionCounts)
+{
+    // Two peaks: the secondary peak's region must not add to the
+    // width of the maximal peak.
+    std::vector<int> shares = {16, 48, 80, 112, 144, 176, 208, 240};
+    std::vector<double> curve = {0.95, 0.4, 0.4, 0.4, 1.0, 0.4, 0.4, 0.4};
+    EXPECT_LE(hillWidth(shares, curve, 0.9), 32.0)
+        << "the disjoint 0.95 point is a separate peak";
+}
+
+TEST(HillWidth, SinglePointCurve)
+{
+    EXPECT_DOUBLE_EQ(hillWidth({128}, {1.0}, 0.99), 1.0);
+}
+
+TEST(HillWidth, EmptyCurve)
+{
+    EXPECT_DOUBLE_EQ(hillWidth({}, {}, 0.99), 0.0);
+}
+
+TEST(HillWidth, MismatchedLengthsDie)
+{
+    EXPECT_DEATH(hillWidth({1, 2}, {1.0}, 0.9), "mismatch");
+}
+
+TEST(HillWidth, DullVsSharpClassification)
+{
+    // The paper's classification: dull peaks have hillWidth_0.99 of
+    // 32+ registers; sharp peaks under 8. Build one of each.
+    std::vector<int> shares;
+    std::vector<double> dull, sharp;
+    for (int s = 2; s <= 254; s += 2) {
+        shares.push_back(s);
+        double xd = (s - 128.0) / 200.0;
+        dull.push_back(1.0 - xd * xd); // very wide parabola
+        double xs = (s - 128.0) / 12.0;
+        sharp.push_back(std::exp(-xs * xs));
+    }
+    EXPECT_GE(hillWidth(shares, dull, 0.99), 32.0);
+    EXPECT_LE(hillWidth(shares, sharp, 0.99), 8.0);
+}
+
+} // namespace
+} // namespace smthill

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Unit tests for the three performance metrics of Section 3.1.1.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/metrics.hh"
+
+namespace smthill
+{
+namespace
+{
+
+IpcSample
+sample2(double a, double b)
+{
+    IpcSample s;
+    s.numThreads = 2;
+    s.ipc = {a, b};
+    return s;
+}
+
+std::array<double, kMaxThreads>
+solo2(double a, double b)
+{
+    std::array<double, kMaxThreads> s{};
+    s[0] = a;
+    s[1] = b;
+    return s;
+}
+
+TEST(Metrics, AvgIpcIsThroughput)
+{
+    EXPECT_DOUBLE_EQ(evalMetric(PerfMetric::AvgIpc, sample2(1.5, 0.5)),
+                     2.0);
+}
+
+TEST(Metrics, AvgIpcIgnoresSoloIpcs)
+{
+    EXPECT_DOUBLE_EQ(evalMetric(PerfMetric::AvgIpc, sample2(1.0, 1.0),
+                                solo2(4.0, 0.25)),
+                     2.0);
+}
+
+TEST(Metrics, WeightedIpcNormalizesBySolo)
+{
+    // Each thread at half its solo speed -> weighted IPC 0.5.
+    double w = evalMetric(PerfMetric::WeightedIpc, sample2(2.0, 0.1),
+                          solo2(4.0, 0.2));
+    EXPECT_DOUBLE_EQ(w, 0.5);
+}
+
+TEST(Metrics, WeightedIpcEqualWeightPerThread)
+{
+    // A fast thread cannot dominate: both threads contribute their
+    // ratio equally.
+    double w = evalMetric(PerfMetric::WeightedIpc, sample2(4.0, 0.0),
+                          solo2(4.0, 0.2));
+    EXPECT_DOUBLE_EQ(w, 0.5);
+}
+
+TEST(Metrics, HarmonicPenalizesImbalance)
+{
+    // Balanced ratios: harmonic == weighted.
+    double bal = evalMetric(PerfMetric::HarmonicWeightedIpc,
+                            sample2(2.0, 0.1), solo2(4.0, 0.2));
+    EXPECT_DOUBLE_EQ(bal, 0.5);
+    // Unbalanced ratios with the same weighted mean score lower.
+    double unbal = evalMetric(PerfMetric::HarmonicWeightedIpc,
+                              sample2(3.6, 0.02), solo2(4.0, 0.2));
+    double w_unbal = evalMetric(PerfMetric::WeightedIpc,
+                                sample2(3.6, 0.02), solo2(4.0, 0.2));
+    EXPECT_DOUBLE_EQ(w_unbal, 0.5);
+    EXPECT_LT(unbal, bal);
+}
+
+TEST(Metrics, HarmonicZeroIpcIsZero)
+{
+    EXPECT_DOUBLE_EQ(evalMetric(PerfMetric::HarmonicWeightedIpc,
+                                sample2(1.0, 0.0), solo2(1.0, 1.0)),
+                     0.0);
+}
+
+TEST(Metrics, UnknownSoloDefaultsToOne)
+{
+    // Solo IPCs <= 0 are treated as 1 so learning can proceed before
+    // the first SingleIPC sample.
+    double w = evalMetric(PerfMetric::WeightedIpc, sample2(0.6, 0.4),
+                          solo2(0.0, -1.0));
+    EXPECT_DOUBLE_EQ(w, 0.5);
+}
+
+TEST(Metrics, EmptySampleIsZero)
+{
+    IpcSample s;
+    EXPECT_DOUBLE_EQ(evalMetric(PerfMetric::AvgIpc, s), 0.0);
+    EXPECT_DOUBLE_EQ(evalMetric(PerfMetric::WeightedIpc, s), 0.0);
+}
+
+TEST(Metrics, Names)
+{
+    EXPECT_STREQ(metricName(PerfMetric::AvgIpc), "IPC");
+    EXPECT_STREQ(metricName(PerfMetric::WeightedIpc), "WIPC");
+    EXPECT_STREQ(metricName(PerfMetric::HarmonicWeightedIpc), "HWIPC");
+}
+
+TEST(Metrics, FourThreadWeighted)
+{
+    IpcSample s;
+    s.numThreads = 4;
+    s.ipc = {1.0, 1.0, 0.5, 0.25};
+    std::array<double, kMaxThreads> solo{};
+    solo[0] = 2.0;
+    solo[1] = 1.0;
+    solo[2] = 1.0;
+    solo[3] = 0.5;
+    // Ratios: 0.5, 1.0, 0.5, 0.5 -> mean 0.625.
+    EXPECT_DOUBLE_EQ(evalMetric(PerfMetric::WeightedIpc, s, solo), 0.625);
+}
+
+/**
+ * Property sweep: for any positive sample, the harmonic mean of
+ * weighted IPC never exceeds the (arithmetic) weighted IPC.
+ */
+class MetricOrderingTest
+    : public ::testing::TestWithParam<std::tuple<double, double>>
+{
+};
+
+TEST_P(MetricOrderingTest, HarmonicLeqArithmetic)
+{
+    auto [a, b] = GetParam();
+    IpcSample s = sample2(a, b);
+    auto solo = solo2(3.0, 0.4);
+    double arith = evalMetric(PerfMetric::WeightedIpc, s, solo);
+    double harm = evalMetric(PerfMetric::HarmonicWeightedIpc, s, solo);
+    EXPECT_LE(harm, arith + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MetricOrderingTest,
+    ::testing::Combine(::testing::Values(0.1, 0.5, 1.0, 2.0, 3.0),
+                       ::testing::Values(0.05, 0.2, 0.4, 0.8)));
+
+} // namespace
+} // namespace smthill

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Unit tests for the partition search-space helpers (enumeration,
+ * Figure 8 trial and anchor moves).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/partitioning.hh"
+
+namespace smthill
+{
+namespace
+{
+
+TEST(Enumerate2, PaperConfigurationGives127Trials)
+{
+    // Section 3.2: every other partitioning of 256 registers across
+    // 2 threads -> 127 trials.
+    auto all = enumeratePartitions2(256, 2);
+    EXPECT_EQ(all.size(), 127u);
+    EXPECT_EQ(all.front().share[0], 2);
+    EXPECT_EQ(all.back().share[0], 254);
+}
+
+TEST(Enumerate2, SharesAlwaysSumToTotal)
+{
+    for (const auto &p : enumeratePartitions2(256, 16)) {
+        EXPECT_EQ(p.total(), 256);
+        EXPECT_EQ(p.numThreads, 2);
+        EXPECT_GE(p.share[0], 16);
+        EXPECT_GE(p.share[1], 16);
+    }
+}
+
+TEST(Enumerate2, StrideControlsCount)
+{
+    EXPECT_EQ(enumeratePartitions2(256, 16).size(), 15u);
+    EXPECT_EQ(enumeratePartitions2(256, 128).size(), 1u);
+}
+
+TEST(Enumerate2, RejectsBadArguments)
+{
+    EXPECT_DEATH(enumeratePartitions2(4, 0), "bad stride");
+    EXPECT_DEATH(enumeratePartitions2(2, 4), "bad stride");
+}
+
+TEST(TrialPartition, ShiftsDeltaFromEveryOtherThread)
+{
+    Partition anchor = Partition::equal(4, 256);
+    Partition t = trialPartition(anchor, 1, 4, 4);
+    EXPECT_EQ(t.share[1], 64 + 12); // gains Delta * (N-1)
+    EXPECT_EQ(t.share[0], 60);
+    EXPECT_EQ(t.share[2], 60);
+    EXPECT_EQ(t.share[3], 60);
+    EXPECT_EQ(t.total(), 256);
+}
+
+TEST(TrialPartition, RespectsFloor)
+{
+    Partition anchor;
+    anchor.numThreads = 2;
+    anchor.share = {6, 250};
+    Partition t = trialPartition(anchor, 1, 4, 4);
+    EXPECT_EQ(t.share[0], 4) << "donor stops at the floor";
+    EXPECT_EQ(t.share[1], 252);
+    EXPECT_EQ(t.total(), 256);
+}
+
+TEST(TrialPartition, FloorLimitsGainToo)
+{
+    Partition anchor;
+    anchor.numThreads = 2;
+    anchor.share = {4, 252};
+    Partition t = trialPartition(anchor, 1, 4, 4);
+    EXPECT_EQ(t, anchor) << "nothing to take";
+}
+
+TEST(MoveAnchor, MatchesTrialSemantics)
+{
+    // Figure 8 uses the same +Delta*(N-1)/-Delta move for the anchor
+    // as for trials.
+    Partition anchor = Partition::equal(2, 256);
+    EXPECT_EQ(moveAnchor(anchor, 0, 4, 4),
+              trialPartition(anchor, 0, 4, 4));
+}
+
+TEST(MoveAnchor, RepeatedMovesStayValid)
+{
+    Partition anchor = Partition::equal(2, 256);
+    for (int i = 0; i < 200; ++i) {
+        anchor = moveAnchor(anchor, 0, 4, 4);
+        ASSERT_EQ(anchor.total(), 256);
+        ASSERT_GE(anchor.share[1], 4);
+    }
+    EXPECT_EQ(anchor.share[1], 4) << "converges to the floor";
+    EXPECT_EQ(anchor.share[0], 252);
+}
+
+TEST(MoveAnchor, GradientWalkReachesAnyInteriorPoint)
+{
+    // Alternating moves can reach an asymmetric target.
+    Partition anchor = Partition::equal(2, 256);
+    for (int i = 0; i < 12; ++i)
+        anchor = moveAnchor(anchor, 0, 4, 4);
+    EXPECT_EQ(anchor.share[0], 128 + 48);
+}
+
+/** Parameterized sweep: moves preserve the invariants for any N. */
+class MoveSweep : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(MoveSweep, TotalAndFloorInvariants)
+{
+    auto [threads, delta] = GetParam();
+    Partition anchor = Partition::equal(threads, 256);
+    for (int favored = 0; favored < threads; ++favored) {
+        Partition t = trialPartition(anchor, favored, delta, delta);
+        EXPECT_EQ(t.total(), 256);
+        for (int i = 0; i < threads; ++i)
+            EXPECT_GE(t.share[i], delta);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MoveSweep,
+    ::testing::Combine(::testing::Values(2, 3, 4, 6, 8),
+                       ::testing::Values(1, 2, 4, 8, 16)));
+
+} // namespace
+} // namespace smthill

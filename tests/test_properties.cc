@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Property-based tests: machine invariants checked across parameter
+ * sweeps (thread counts, partition splits, workload classes, stream
+ * seeds) using parameterized gtest suites.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/partitioning.hh"
+#include "pipeline/cpu.hh"
+#include "trace/program_profile.hh"
+#include "trace/spec_profiles.hh"
+
+namespace smthill
+{
+namespace
+{
+
+ProgramProfile
+sweepProfile(int variant)
+{
+    ProfileParams pp;
+    pp.name = "sweep" + std::to_string(variant);
+    pp.seed = 1000 + variant * 7;
+    pp.numBlocks = 10 + variant * 3;
+    pp.avgBlockLen = 6 + variant;
+    pp.pLoadCold = 0.05 * (variant % 3);
+    pp.serialFrac = 0.1 + 0.1 * (variant % 4);
+    pp.burstProb = variant % 2 ? 0.5 : 0.0;
+    pp.burstMax = 4;
+    return buildProfile(pp);
+}
+
+/**
+ * Property: for any thread count and any legal partition, the
+ * pipeline never violates occupancy limits, never deadlocks, and all
+ * enabled threads make forward progress.
+ */
+class PipelineInvariants
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(PipelineInvariants, HoldsUnderSweep)
+{
+    auto [threads, share_variant] = GetParam();
+    SmtConfig cfg;
+    cfg.numThreads = threads;
+    std::vector<StreamGenerator> gens;
+    for (int i = 0; i < threads; ++i)
+        gens.emplace_back(sweepProfile(i), i);
+    SmtCpu cpu(cfg, std::move(gens));
+
+    // Build an intentionally skewed partition.
+    Partition p = Partition::equal(threads, cfg.intRegs);
+    for (int step = 0; step < share_variant * 8; ++step)
+        p = moveAnchor(p, step % threads, 4, 4);
+    cpu.setPartition(p);
+    DerivedLimits lim = deriveLimits(p, cfg);
+
+    for (int i = 0; i < 30000; ++i) {
+        cpu.step();
+        const Occupancy &o = cpu.occupancy();
+        ASSERT_LE(o.totalRob(), cfg.robSize);
+        ASSERT_LE(o.totalIntRegs(), cfg.intRegs);
+        ASSERT_LE(o.totalIfq(), cfg.ifqSize);
+        for (int t = 0; t < threads; ++t) {
+            ASSERT_LE(o.intRegs[t], lim.intRegs[t]);
+            ASSERT_LE(o.intIq[t], lim.intIq[t]);
+            ASSERT_LE(o.rob[t], lim.rob[t]);
+        }
+    }
+    for (int t = 0; t < threads; ++t)
+        EXPECT_GT(cpu.stats().committed[t], 200u)
+            << "thread " << t << " with share " << p.share[t];
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PipelineInvariants,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 6),
+                       ::testing::Values(0, 1, 3)));
+
+/**
+ * Property: checkpoint-copy then replay is bit-identical for every
+ * benchmark class (ILP/MEM, Int/FP, phased or not).
+ */
+class CheckpointReplay : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(CheckpointReplay, IdenticalForBenchmark)
+{
+    SmtConfig cfg;
+    cfg.numThreads = 2;
+    std::vector<StreamGenerator> gens;
+    gens.emplace_back(specProfile(GetParam()), 0);
+    gens.emplace_back(specProfile("gzip"), 1);
+    SmtCpu cpu(cfg, std::move(gens));
+    cpu.run(30000);
+    SmtCpu copy = cpu;
+    cpu.run(30000);
+    copy.run(30000);
+    EXPECT_EQ(cpu.stats().committed[0], copy.stats().committed[0]);
+    EXPECT_EQ(cpu.stats().committed[1], copy.stats().committed[1]);
+    EXPECT_EQ(cpu.stats().mispredicts[0], copy.stats().mispredicts[0]);
+    EXPECT_EQ(cpu.memory().ul2().misses(), copy.memory().ul2().misses());
+}
+
+INSTANTIATE_TEST_SUITE_P(Benchmarks, CheckpointReplay,
+                         ::testing::Values("bzip2", "gap", "mcf", "art",
+                                           "swim", "gcc", "wupwise",
+                                           "equake", "vortex", "ammp"));
+
+/**
+ * Property: a thread's solo throughput is monotonically
+ * non-decreasing (within tolerance) in its resource share.
+ */
+class ShareMonotonicity : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(ShareMonotonicity, MoreWindowNeverMuchWorse)
+{
+    SmtConfig cfg;
+    cfg.numThreads = 1;
+    std::vector<StreamGenerator> gens;
+    gens.emplace_back(specProfile(GetParam()), 0);
+    SmtCpu base(cfg, std::move(gens));
+    base.run(200000); // warm
+
+    double prev_ipc = 0.0;
+    for (int share : {32, 96, 160, 256}) {
+        SmtCpu cpu = base;
+        Partition p;
+        p.numThreads = 1;
+        p.share[0] = share;
+        cpu.setPartition(p);
+        auto before = cpu.stats().committed[0];
+        cpu.run(100000);
+        double ipc =
+            static_cast<double>(cpu.stats().committed[0] - before) /
+            100000.0;
+        EXPECT_GT(ipc, prev_ipc * 0.93)
+            << GetParam() << " share " << share;
+        prev_ipc = std::max(prev_ipc, ipc);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Benchmarks, ShareMonotonicity,
+                         ::testing::Values("art", "swim", "gap", "mcf",
+                                           "bzip2", "twolf"));
+
+/**
+ * Property: generator streams are reproducible across seeds and the
+ * dependence structure never references the future.
+ */
+class StreamSanity : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(StreamSanity, WellFormedStream)
+{
+    StreamGenerator g(specProfile(GetParam()), 3);
+    const auto &prof = g.profile();
+    for (std::uint64_t i = 0; i < 30000; ++i) {
+        SynthInst inst = g.next();
+        ASSERT_LT(inst.blockId, prof.blocks.size());
+        ASSERT_GE(inst.srcDist[0], 0);
+        ASSERT_LE(static_cast<std::uint64_t>(inst.srcDist[0]), i);
+        if (isMemOp(inst.op)) {
+            ASSERT_NE(inst.effAddr, 0u);
+        }
+        if (inst.isBranch()) {
+            ASSERT_NE(inst.target, 0u);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, StreamSanity,
+                         ::testing::Values("bzip2", "perlbmk", "eon",
+                                           "vortex", "gzip", "parser",
+                                           "gap", "crafty", "gcc", "apsi",
+                                           "fma3d", "wupwise", "mesa",
+                                           "equake", "vpr", "mcf", "twolf",
+                                           "art", "lucas", "ammp", "swim",
+                                           "applu"));
+
+/**
+ * Property: flushing at an arbitrary point never breaks forward
+ * progress or resource accounting.
+ */
+class FlushAnywhere : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(FlushAnywhere, MachineSurvives)
+{
+    SmtConfig cfg;
+    cfg.numThreads = 2;
+    std::vector<StreamGenerator> gens;
+    gens.emplace_back(specProfile("art"), 0);
+    gens.emplace_back(specProfile("gzip"), 1);
+    SmtCpu cpu(cfg, std::move(gens));
+
+    int when = GetParam();
+    cpu.run(when);
+    auto committed = cpu.stats().committed[0];
+    cpu.flushThreadAfter(0, committed + static_cast<InstSeq>(when % 7));
+    cpu.run(40000);
+    const Occupancy &o = cpu.occupancy();
+    EXPECT_GE(o.totalRob(), 0);
+    EXPECT_LE(o.totalRob(), cfg.robSize);
+    EXPECT_GT(cpu.stats().committed[0], committed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, FlushAnywhere,
+                         ::testing::Values(1, 17, 333, 1024, 5000, 20000));
+
+} // namespace
+} // namespace smthill

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Unit tests for the remaining related-work policies of Section 2:
+ * DG, PDG, and the STALL-FLUSH hybrid.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/runner.hh"
+#include "policy/dg.hh"
+#include "policy/flush.hh"
+#include "policy/stall_flush.hh"
+#include "trace/program_profile.hh"
+
+namespace smthill
+{
+namespace
+{
+
+ProgramProfile
+profileWith(double p_cold, const char *name)
+{
+    ProfileParams pp;
+    pp.name = name;
+    pp.numBlocks = 12;
+    pp.avgBlockLen = 8;
+    pp.pLoadCold = p_cold;
+    pp.pLoadWarm = p_cold > 0.0 ? 0.05 : 0.0;
+    pp.meanDepDist = 16;
+    pp.serialFrac = 0.15;
+    return buildProfile(pp);
+}
+
+SmtCpu
+mixedCpu()
+{
+    SmtConfig cfg;
+    cfg.numThreads = 2;
+    std::vector<StreamGenerator> gens;
+    gens.emplace_back(profileWith(0.2, "mem"), 0);
+    gens.emplace_back(profileWith(0.0, "ilp"), 1);
+    SmtCpu cpu(cfg, std::move(gens));
+    cpu.run(300000);
+    return cpu;
+}
+
+TEST(Dg, GatesOnOutstandingMisses)
+{
+    SmtCpu cpu = mixedCpu();
+    DgPolicy p(1);
+    p.attach(cpu);
+    int gated0 = 0, gated1 = 0;
+    for (int i = 0; i < 60000; ++i) {
+        p.cycle(cpu);
+        cpu.step();
+        gated0 += cpu.fetchLocked(0);
+        gated1 += cpu.fetchLocked(1);
+    }
+    EXPECT_GT(gated0, 5000) << "the missing thread is gated often";
+    EXPECT_LT(gated1, gated0 / 4) << "the clean thread rarely gates";
+    EXPECT_GT(cpu.stats().committed[0], 100u);
+    EXPECT_EQ(cpu.stats().flushed[0], 0u) << "DG never squashes";
+}
+
+TEST(Dg, ThresholdLoosensGating)
+{
+    SmtCpu base = mixedCpu();
+    int gated[2] = {0, 0};
+    int idx = 0;
+    for (int threshold : {1, 4}) {
+        SmtCpu cpu = base;
+        DgPolicy p(threshold);
+        p.attach(cpu);
+        for (int i = 0; i < 40000; ++i) {
+            p.cycle(cpu);
+            cpu.step();
+            gated[idx] += cpu.fetchLocked(0);
+        }
+        ++idx;
+    }
+    EXPECT_GT(gated[0], gated[1])
+        << "a higher miss threshold gates less";
+}
+
+TEST(Dg, RejectsBadThreshold)
+{
+    EXPECT_DEATH(DgPolicy p(0), "threshold");
+}
+
+TEST(Pdg, PredictorLearnsMissPcs)
+{
+    PdgPolicy p;
+    Addr missing = 0x1000, hitting = 0x2000;
+    for (int i = 0; i < 4; ++i) {
+        p.train(0, missing, true);
+        p.train(0, hitting, false);
+    }
+    EXPECT_TRUE(p.predictsMiss(0, missing));
+    EXPECT_FALSE(p.predictsMiss(0, hitting));
+}
+
+TEST(Pdg, TablesArePerThread)
+{
+    PdgPolicy p;
+    Addr pc = 0x3000;
+    for (int i = 0; i < 4; ++i)
+        p.train(0, pc, true);
+    EXPECT_TRUE(p.predictsMiss(0, pc));
+    EXPECT_FALSE(p.predictsMiss(1, pc));
+}
+
+TEST(Pdg, GatesTheMissingThread)
+{
+    SmtCpu cpu = mixedCpu();
+    PdgPolicy p;
+    p.attach(cpu);
+    int gated0 = 0, gated1 = 0;
+    for (int i = 0; i < 80000; ++i) {
+        p.cycle(cpu);
+        cpu.step();
+        gated0 += cpu.fetchLocked(0);
+        gated1 += cpu.fetchLocked(1);
+    }
+    EXPECT_GT(gated0, 5000);
+    EXPECT_LT(gated1, gated0 / 4);
+    EXPECT_GT(cpu.stats().committed[0], 100u) << "no deadlock";
+    EXPECT_GT(cpu.stats().committed[1], 10000u);
+}
+
+TEST(Pdg, RejectsNonPow2Table)
+{
+    EXPECT_DEATH(PdgPolicy p(1000), "power of two");
+}
+
+TEST(StallFlush, FlushesLessThanFlush)
+{
+    SmtCpu a = mixedCpu();
+    FlushPolicy flush;
+    flush.attach(a);
+    for (int i = 0; i < 100000; ++i) {
+        flush.cycle(a);
+        a.step();
+    }
+
+    SmtCpu b = mixedCpu();
+    StallFlushPolicy hybrid;
+    hybrid.attach(b);
+    for (int i = 0; i < 100000; ++i) {
+        hybrid.cycle(b);
+        b.step();
+    }
+
+    EXPECT_LT(hybrid.flushedInsts(), flush.flushedInsts())
+        << "the hybrid's whole point is fewer squashed instructions";
+    EXPECT_GT(b.stats().committedTotal(), 10000u);
+}
+
+TEST(StallFlush, PressureThresholdControlsFlushing)
+{
+    // A looser pressure threshold must flush at least as much as a
+    // tight one; both must keep the machine progressing.
+    SmtCpu base = mixedCpu();
+    std::uint64_t flushed_loose = 0, flushed_tight = 0;
+    {
+        SmtCpu cpu = base;
+        StallFlushPolicy loose(20, 0.5);
+        loose.attach(cpu);
+        for (int i = 0; i < 60000; ++i) {
+            loose.cycle(cpu);
+            cpu.step();
+        }
+        flushed_loose = loose.flushedInsts();
+        EXPECT_GT(cpu.stats().committedTotal(), 10000u);
+    }
+    {
+        SmtCpu cpu = base;
+        StallFlushPolicy tight(20, 1.0);
+        tight.attach(cpu);
+        for (int i = 0; i < 60000; ++i) {
+            tight.cycle(cpu);
+            cpu.step();
+        }
+        flushed_tight = tight.flushedInsts();
+        EXPECT_GT(cpu.stats().committedTotal(), 10000u);
+    }
+    EXPECT_GE(flushed_loose, flushed_tight);
+}
+
+TEST(StallFlush, RejectsBadPressure)
+{
+    EXPECT_DEATH(StallFlushPolicy p(20, 0.0), "pressure");
+    EXPECT_DEATH(StallFlushPolicy p2(20, 1.5), "pressure");
+}
+
+TEST(RelatedPolicies, NamesAndClones)
+{
+    DgPolicy dg;
+    PdgPolicy pdg;
+    StallFlushPolicy sf;
+    EXPECT_EQ(dg.name(), "DG");
+    EXPECT_EQ(pdg.name(), "PDG");
+    EXPECT_EQ(sf.name(), "STALL-FLUSH");
+    EXPECT_EQ(dg.clone()->name(), "DG");
+    EXPECT_EQ(pdg.clone()->name(), "PDG");
+    EXPECT_EQ(sf.clone()->name(), "STALL-FLUSH");
+}
+
+} // namespace
+} // namespace smthill

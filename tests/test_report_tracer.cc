@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Unit tests for the derived-statistics report and pipeline tracer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "harness/report.hh"
+#include "harness/runner.hh"
+#include "pipeline/tracer.hh"
+#include "policy/flush.hh"
+#include "policy/icount.hh"
+#include "trace/program_profile.hh"
+
+namespace smthill
+{
+namespace
+{
+
+SmtCpu
+testCpu(double p_cold = 0.1)
+{
+    ProfileParams a;
+    a.name = "mem";
+    a.numBlocks = 12;
+    a.avgBlockLen = 8;
+    a.pLoadCold = p_cold;
+    ProfileParams b;
+    b.name = "ilp";
+    b.numBlocks = 12;
+    b.avgBlockLen = 8;
+    b.pLoadWarm = 0.0; // DL1-resident only: near-zero MPKI
+    SmtConfig cfg;
+    cfg.numThreads = 2;
+    std::vector<StreamGenerator> gens;
+    gens.emplace_back(buildProfile(a), 0);
+    gens.emplace_back(buildProfile(b), 1);
+    SmtCpu cpu(cfg, std::move(gens));
+    cpu.run(200000);
+    return cpu;
+}
+
+TEST(Report, RatesAreConsistent)
+{
+    SmtCpu cpu = testCpu();
+    MachineReport rep = runAndReport(cpu, 100000, {"mem", "ilp"});
+    ASSERT_EQ(rep.threads.size(), 2u);
+    EXPECT_EQ(rep.cycles, 100000u);
+    double sum = rep.threads[0].ipc + rep.threads[1].ipc;
+    EXPECT_NEAR(sum, rep.totalIpc, 1e-9);
+    EXPECT_EQ(rep.threads[0].label, "mem");
+
+    double share_sum =
+        rep.threads[0].fetchShare + rep.threads[1].fetchShare;
+    EXPECT_NEAR(share_sum, 1.0, 1e-9);
+
+    // The memory thread must show much higher MPKI. (The clean
+    // thread still takes some DL1 misses from warm-region stores.)
+    EXPECT_GT(rep.threads[0].dl1Mpki, 3 * rep.threads[1].dl1Mpki);
+    for (const auto &tr : rep.threads) {
+        EXPECT_GE(tr.mispredictRate, 0.0);
+        EXPECT_LE(tr.mispredictRate, 1.0);
+        EXPECT_GE(tr.lockedFrac, 0.0);
+    }
+}
+
+TEST(Report, EmptyIntervalIsSafe)
+{
+    SmtCpu cpu = testCpu();
+    MachineSnapshot s = MachineSnapshot::capture(cpu);
+    MachineReport rep = buildReport(s, s);
+    EXPECT_EQ(rep.cycles, 0u);
+    EXPECT_TRUE(rep.threads.empty());
+}
+
+TEST(Report, FlushShowsInFlushPerCommit)
+{
+    SmtCpu cpu = testCpu(0.25);
+    FlushPolicy flush;
+    flush.attach(cpu);
+    MachineSnapshot before = MachineSnapshot::capture(cpu);
+    for (int i = 0; i < 100000; ++i) {
+        flush.cycle(cpu);
+        cpu.step();
+    }
+    MachineReport rep =
+        buildReport(before, MachineSnapshot::capture(cpu));
+    EXPECT_GT(rep.threads[0].flushedPerCommit, 0.0);
+}
+
+TEST(Report, RunResultCarriesSnapshots)
+{
+    RunConfig rc;
+    rc.epochs = 2;
+    rc.epochSize = 8192;
+    rc.warmupCycles = 32768;
+    IcountPolicy p;
+    RunResult res = runPolicy(workloadByName("art-mcf"), p, rc);
+    MachineReport rep = res.report({"art", "mcf"});
+    EXPECT_EQ(rep.cycles, 2u * 8192u);
+    ASSERT_EQ(rep.threads.size(), 2u);
+    EXPECT_NEAR(rep.threads[0].ipc, res.overallIpc.ipc[0], 1e-9);
+}
+
+TEST(Tracer, RecordsAllStagesInOrder)
+{
+    SmtCpu cpu = testCpu(0.0);
+    PipelineTracer tracer(1 << 16);
+    cpu.setTracer(&tracer);
+    cpu.run(200);
+    auto events = tracer.events();
+    ASSERT_GT(events.size(), 50u);
+    bool saw[6] = {false, false, false, false, false, false};
+    Cycle prev = 0;
+    for (const auto &e : events) {
+        saw[static_cast<int>(e.stage)] = true;
+        EXPECT_GE(e.cycle, prev);
+        prev = e.cycle;
+    }
+    EXPECT_TRUE(saw[static_cast<int>(TraceStage::Fetch)]);
+    EXPECT_TRUE(saw[static_cast<int>(TraceStage::Dispatch)]);
+    EXPECT_TRUE(saw[static_cast<int>(TraceStage::Issue)]);
+    EXPECT_TRUE(saw[static_cast<int>(TraceStage::Complete)]);
+    EXPECT_TRUE(saw[static_cast<int>(TraceStage::Commit)]);
+}
+
+TEST(Tracer, PerInstructionLifecycleOrder)
+{
+    SmtCpu cpu = testCpu(0.0);
+    PipelineTracer tracer(1 << 16);
+    cpu.setTracer(&tracer);
+    cpu.run(500);
+    // For any given (tid, seq), stage order must be fetch <= dispatch
+    // <= issue <= complete <= commit in time.
+    std::map<std::pair<ThreadId, InstSeq>, Cycle> last_stage_cycle;
+    std::map<std::pair<ThreadId, InstSeq>, int> last_stage;
+    for (const auto &e : tracer.events()) {
+        if (e.stage == TraceStage::Squash)
+            continue;
+        auto key = std::make_pair(e.tid, e.seq);
+        auto it = last_stage.find(key);
+        if (it != last_stage.end()) {
+            EXPECT_GT(static_cast<int>(e.stage), it->second)
+                << "seq " << e.seq;
+            EXPECT_GE(e.cycle, last_stage_cycle[key]);
+        }
+        last_stage[key] = static_cast<int>(e.stage);
+        last_stage_cycle[key] = e.cycle;
+    }
+}
+
+TEST(Tracer, ThreadFilter)
+{
+    SmtCpu cpu = testCpu(0.0);
+    PipelineTracer tracer(1 << 14);
+    tracer.filterThread(1);
+    cpu.setTracer(&tracer);
+    cpu.run(300);
+    ASSERT_GT(tracer.size(), 0u);
+    for (const auto &e : tracer.events())
+        EXPECT_EQ(e.tid, 1u);
+    EXPECT_GT(tracer.offered(), tracer.size());
+}
+
+TEST(Tracer, StageFilter)
+{
+    SmtCpu cpu = testCpu(0.0);
+    PipelineTracer tracer(1 << 14);
+    tracer.filterStages(std::uint32_t{1}
+                        << static_cast<int>(TraceStage::Commit));
+    cpu.setTracer(&tracer);
+    cpu.run(300);
+    ASSERT_GT(tracer.size(), 0u);
+    for (const auto &e : tracer.events())
+        EXPECT_EQ(e.stage, TraceStage::Commit);
+}
+
+TEST(Tracer, RingEvictsOldest)
+{
+    PipelineTracer tracer(4);
+    for (int i = 0; i < 10; ++i) {
+        TraceEvent e;
+        e.seq = static_cast<InstSeq>(i);
+        tracer.record(e);
+    }
+    auto events = tracer.events();
+    ASSERT_EQ(events.size(), 4u);
+    EXPECT_EQ(events.front().seq, 6u);
+    EXPECT_EQ(events.back().seq, 9u);
+    EXPECT_EQ(tracer.offered(), 10u);
+}
+
+TEST(Tracer, ClearResets)
+{
+    PipelineTracer tracer(8);
+    tracer.record(TraceEvent{});
+    tracer.clear();
+    EXPECT_EQ(tracer.size(), 0u);
+    EXPECT_TRUE(tracer.events().empty());
+}
+
+TEST(Tracer, SquashEventsOnFlush)
+{
+    SmtCpu cpu = testCpu(0.2);
+    PipelineTracer tracer(1 << 16);
+    tracer.filterStages(std::uint32_t{1}
+                        << static_cast<int>(TraceStage::Squash));
+    cpu.setTracer(&tracer);
+    cpu.run(200);
+    int flushed = cpu.flushThreadAfter(0, cpu.stats().committed[0] + 1);
+    EXPECT_EQ(tracer.size(), static_cast<std::size_t>(flushed));
+}
+
+TEST(Tracer, StageNames)
+{
+    EXPECT_STREQ(traceStageName(TraceStage::Fetch), "fetch");
+    EXPECT_STREQ(traceStageName(TraceStage::Squash), "squash");
+}
+
+} // namespace
+} // namespace smthill

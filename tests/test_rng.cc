@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Unit tests for the deterministic RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hh"
+
+namespace smthill
+{
+namespace
+{
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, CopyResumesStream)
+{
+    Rng a(7);
+    for (int i = 0; i < 17; ++i)
+        a.next();
+    Rng b = a; // checkpoint
+    std::vector<std::uint64_t> expect;
+    for (int i = 0; i < 50; ++i)
+        expect.push_back(a.next());
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(b.next(), expect[i]);
+}
+
+TEST(Rng, EqualityReflectsState)
+{
+    Rng a(9), b(9);
+    EXPECT_EQ(a, b);
+    a.next();
+    EXPECT_NE(a, b);
+    b.next();
+    EXPECT_EQ(a, b);
+}
+
+TEST(Rng, NextBelowInRange)
+{
+    Rng r(3);
+    for (int i = 0; i < 10000; ++i) {
+        auto v = r.nextBelow(17);
+        EXPECT_LT(v, 17u);
+    }
+}
+
+TEST(Rng, NextBelowCoversAllValues)
+{
+    Rng r(11);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 2000; ++i)
+        seen.insert(r.nextBelow(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, NextRangeInclusiveBounds)
+{
+    Rng r(5);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 5000; ++i) {
+        auto v = r.nextRange(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        saw_lo = saw_lo || v == -3;
+        saw_hi = saw_hi || v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NextRangeDegenerate)
+{
+    Rng r(5);
+    EXPECT_EQ(r.nextRange(4, 4), 4);
+    EXPECT_EQ(r.nextRange(9, 2), 9); // hi < lo collapses to lo
+}
+
+TEST(Rng, NextDoubleInUnitInterval)
+{
+    Rng r(13);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        double v = r.nextDouble();
+        ASSERT_GE(v, 0.0);
+        ASSERT_LT(v, 1.0);
+        sum += v;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng r(1);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(r.chance(0.0));
+        EXPECT_TRUE(r.chance(1.0));
+        EXPECT_FALSE(r.chance(-0.5));
+        EXPECT_TRUE(r.chance(1.5));
+    }
+}
+
+TEST(Rng, ChanceFrequencyMatchesProbability)
+{
+    Rng r(77);
+    int hits = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        hits += r.chance(0.3);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, GeometricBounds)
+{
+    Rng r(21);
+    for (int i = 0; i < 5000; ++i) {
+        int v = r.nextGeometric(0.25, 32);
+        EXPECT_GE(v, 1);
+        EXPECT_LE(v, 32);
+    }
+}
+
+TEST(Rng, GeometricMeanApproximatesInverseP)
+{
+    Rng r(23);
+    double sum = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        sum += r.nextGeometric(0.125, 1000);
+    EXPECT_NEAR(sum / n, 8.0, 0.5);
+}
+
+TEST(Rng, GeometricDegenerateCases)
+{
+    Rng r(29);
+    EXPECT_EQ(r.nextGeometric(1.0, 50), 1);
+    EXPECT_EQ(r.nextGeometric(0.0, 50), 50);
+    EXPECT_EQ(r.nextGeometric(0.5, 1), 1);
+}
+
+} // namespace
+} // namespace smthill

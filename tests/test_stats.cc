@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Unit tests for the statistics helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.hh"
+
+namespace smthill
+{
+namespace
+{
+
+TEST(RunningStat, EmptyIsZero)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 0.0);
+    EXPECT_DOUBLE_EQ(s.max(), 0.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStat, BasicMoments)
+{
+    RunningStat s;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(v);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_NEAR(s.stddev(), 2.0, 1e-9);
+}
+
+TEST(RunningStat, MergeMatchesCombinedStream)
+{
+    RunningStat a, b, all;
+    for (int i = 0; i < 10; ++i) {
+        a.add(i);
+        all.add(i);
+    }
+    for (int i = 10; i < 25; ++i) {
+        b.add(i * 0.5);
+        all.add(i * 0.5);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_DOUBLE_EQ(a.mean(), all.mean());
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+    EXPECT_NEAR(a.stddev(), all.stddev(), 1e-12);
+}
+
+TEST(RunningStat, MergeWithEmpty)
+{
+    RunningStat a, empty;
+    a.add(3.0);
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 1u);
+    empty.merge(a);
+    EXPECT_EQ(empty.count(), 1u);
+    EXPECT_DOUBLE_EQ(empty.mean(), 3.0);
+}
+
+TEST(RunningStat, ResetClears)
+{
+    RunningStat s;
+    s.add(5.0);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+}
+
+TEST(Histogram, CountsAndClamping)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(0.5);   // bucket 0
+    h.add(9.5);   // bucket 9
+    h.add(-5.0);  // clamps to 0
+    h.add(50.0);  // clamps to 9
+    EXPECT_EQ(h.bucketCount(0), 2u);
+    EXPECT_EQ(h.bucketCount(9), 2u);
+    EXPECT_EQ(h.totalCount(), 4u);
+}
+
+TEST(Histogram, BucketMid)
+{
+    Histogram h(0.0, 10.0, 10);
+    EXPECT_DOUBLE_EQ(h.bucketMid(0), 0.5);
+    EXPECT_DOUBLE_EQ(h.bucketMid(9), 9.5);
+}
+
+TEST(Histogram, QuantileMonotone)
+{
+    Histogram h(0.0, 100.0, 100);
+    for (int i = 0; i < 100; ++i)
+        h.add(i + 0.5);
+    double q10 = h.quantile(0.10);
+    double q50 = h.quantile(0.50);
+    double q90 = h.quantile(0.90);
+    EXPECT_LT(q10, q50);
+    EXPECT_LT(q50, q90);
+    EXPECT_NEAR(q50, 50.0, 2.0);
+}
+
+TEST(Histogram, QuantileEmpty)
+{
+    Histogram h(0.0, 1.0, 4);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(VectorStats, MeanOf)
+{
+    EXPECT_DOUBLE_EQ(meanOf({}), 0.0);
+    EXPECT_DOUBLE_EQ(meanOf({2.0, 4.0}), 3.0);
+}
+
+TEST(VectorStats, GeomeanOf)
+{
+    EXPECT_DOUBLE_EQ(geomeanOf({}), 0.0);
+    EXPECT_NEAR(geomeanOf({2.0, 8.0}), 4.0, 1e-12);
+    EXPECT_DOUBLE_EQ(geomeanOf({2.0, 0.0}), 0.0);
+}
+
+} // namespace
+} // namespace smthill

@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Unit tests for the synthetic instruction stream generator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "trace/spec_profiles.hh"
+#include "trace/stream_generator.hh"
+
+namespace smthill
+{
+namespace
+{
+
+ProgramProfile
+toyProfile(int freq_class = 0)
+{
+    ProfileParams pp;
+    pp.name = "toy";
+    pp.numBlocks = 8;
+    pp.avgBlockLen = 6;
+    pp.freqClass = freq_class;
+    pp.pLoadCold = 0.05;
+    pp.pLoadWarm = 0.05;
+    pp.burstProb = 0.5;
+    pp.burstMax = 4;
+    return buildProfile(pp);
+}
+
+TEST(StreamGenerator, Deterministic)
+{
+    StreamGenerator a(toyProfile(), 0), b(toyProfile(), 0);
+    for (int i = 0; i < 5000; ++i) {
+        SynthInst x = a.next(), y = b.next();
+        ASSERT_EQ(x.pc, y.pc);
+        ASSERT_EQ(x.op, y.op);
+        ASSERT_EQ(x.effAddr, y.effAddr);
+        ASSERT_EQ(x.taken, y.taken);
+        ASSERT_EQ(x.srcDist[0], y.srcDist[0]);
+    }
+}
+
+TEST(StreamGenerator, StreamSeedChangesStream)
+{
+    // The CFG walk (and thus the PC sequence) can coincide early, but
+    // data addresses and op choices must diverge across stream seeds.
+    StreamGenerator a(toyProfile(), 0), b(toyProfile(), 1);
+    int same = 0;
+    for (int i = 0; i < 500; ++i) {
+        SynthInst x = a.next(), y = b.next();
+        same += x.effAddr == y.effAddr && x.op == y.op;
+    }
+    EXPECT_LT(same, 450);
+}
+
+TEST(StreamGenerator, CopyResumesStream)
+{
+    StreamGenerator a(toyProfile(), 0);
+    for (int i = 0; i < 1234; ++i)
+        a.next();
+    StreamGenerator b = a;
+    for (int i = 0; i < 2000; ++i) {
+        SynthInst x = a.next(), y = b.next();
+        ASSERT_EQ(x.pc, y.pc);
+        ASSERT_EQ(x.op, y.op);
+        ASSERT_EQ(x.effAddr, y.effAddr);
+    }
+}
+
+TEST(StreamGenerator, BlocksEndWithBranches)
+{
+    StreamGenerator g(toyProfile(), 0);
+    const auto &prof = g.profile();
+    std::uint32_t cur_block = 0;
+    std::uint32_t pos = 0;
+    for (int i = 0; i < 20000; ++i) {
+        SynthInst inst = g.next();
+        ASSERT_EQ(inst.blockId, cur_block);
+        if (pos < prof.blocks[cur_block].length) {
+            ASSERT_NE(inst.op, OpClass::Branch);
+            ++pos;
+        } else {
+            ASSERT_EQ(inst.op, OpClass::Branch);
+            cur_block = inst.taken ? prof.blocks[cur_block].takenTarget
+                                   : prof.blocks[cur_block].fallTarget;
+            pos = 0;
+        }
+    }
+}
+
+TEST(StreamGenerator, BranchTargetsMatchCfg)
+{
+    StreamGenerator g(toyProfile(), 0);
+    const auto &prof = g.profile();
+    for (int i = 0; i < 20000; ++i) {
+        SynthInst inst = g.next();
+        if (!inst.isBranch())
+            continue;
+        std::uint32_t succ = inst.taken
+                                 ? prof.blocks[inst.blockId].takenTarget
+                                 : prof.blocks[inst.blockId].fallTarget;
+        ASSERT_EQ(inst.target, prof.blockPc(succ));
+    }
+}
+
+TEST(StreamGenerator, DependenceDistancesInRange)
+{
+    StreamGenerator g(toyProfile(), 0);
+    for (std::uint64_t i = 0; i < 50000; ++i) {
+        SynthInst inst = g.next();
+        for (int k = 0; k < 2; ++k) {
+            ASSERT_GE(inst.srcDist[k], 0);
+            ASSERT_LE(static_cast<std::uint64_t>(inst.srcDist[k]), i)
+                << "dependence reaches before program start";
+            ASSERT_LE(inst.srcDist[k], 512);
+        }
+    }
+}
+
+TEST(StreamGenerator, LoadsAndStoresHaveAddresses)
+{
+    StreamGenerator g(toyProfile(), 0);
+    int mem_ops = 0;
+    for (int i = 0; i < 20000; ++i) {
+        SynthInst inst = g.next();
+        if (isMemOp(inst.op)) {
+            ++mem_ops;
+            ASSERT_NE(inst.effAddr, 0u);
+        }
+    }
+    EXPECT_GT(mem_ops, 1000);
+}
+
+TEST(StreamGenerator, ColdLoadsMissDistinctLines)
+{
+    // Cold (streaming) loads advance a full cache line every access,
+    // so their line addresses must all be distinct within a window.
+    ProfileParams pp;
+    pp.name = "cold";
+    pp.pLoadCold = 1.0;
+    pp.pLoadWarm = 0.0;
+    pp.loadFrac = 0.5;
+    ProgramProfile prof = buildProfile(pp);
+    StreamGenerator g(prof, 0);
+    std::set<Addr> lines;
+    int loads = 0;
+    for (int i = 0; i < 20000 && loads < 1000; ++i) {
+        SynthInst inst = g.next();
+        // Per-block miss-bias diverts some loads to the hot region;
+        // the streaming (cold-region) ones must never repeat a line.
+        if (inst.isLoad() && inst.effAddr >= 0x4000'0000) {
+            ++loads;
+            ASSERT_TRUE(lines.insert(inst.effAddr >> 6).second)
+                << "cold load revisited a line";
+        }
+    }
+    EXPECT_GE(loads, 1000);
+}
+
+TEST(StreamGenerator, HotLoadsStayInHotRegion)
+{
+    ProfileParams pp;
+    pp.name = "hot";
+    pp.pLoadCold = 0.0;
+    pp.pLoadWarm = 0.0;
+    pp.hotBytes = 4096;
+    ProgramProfile prof = buildProfile(pp);
+    StreamGenerator g(prof, 0);
+    for (int i = 0; i < 20000; ++i) {
+        SynthInst inst = g.next();
+        if (inst.isLoad()) {
+            ASSERT_GE(inst.effAddr, prof.dataBase);
+            ASSERT_LT(inst.effAddr, prof.dataBase + prof.hotBytes);
+        }
+    }
+}
+
+TEST(StreamGenerator, PhaseAdvancesWithInstructions)
+{
+    ProgramProfile prof = toyProfile(2);
+    ASSERT_EQ(prof.phases.size(), 2u);
+    StreamGenerator g(prof, 0);
+    std::uint64_t phase0_len = prof.phases[0].lengthInsts;
+    for (std::uint64_t i = 0; i < phase0_len; ++i)
+        g.next();
+    EXPECT_EQ(g.currentPhase(), 1u);
+}
+
+TEST(StreamGenerator, EmittedCountTracks)
+{
+    StreamGenerator g(toyProfile(), 0);
+    for (int i = 0; i < 321; ++i)
+        g.next();
+    EXPECT_EQ(g.emittedCount(), 321u);
+}
+
+TEST(StreamGenerator, OpMixRoughlyMatchesProfile)
+{
+    StreamGenerator g(specProfile("bzip2"), 0);
+    std::map<OpClass, int> counts;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        counts[g.next().op]++;
+    double load_frac = static_cast<double>(counts[OpClass::Load]) / n;
+    double br_frac = static_cast<double>(counts[OpClass::Branch]) / n;
+    EXPECT_NEAR(load_frac, 0.24, 0.08); // loadFrac ~0.26 minus branches
+    EXPECT_GT(br_frac, 0.04);
+    EXPECT_LT(br_frac, 0.20);
+    EXPECT_EQ(counts[OpClass::FpAlu] + counts[OpClass::FpMul], 0)
+        << "bzip2 is an integer benchmark";
+}
+
+TEST(StreamGenerator, FpBenchmarkEmitsFpOps)
+{
+    StreamGenerator g(specProfile("swim"), 0);
+    int fp = 0;
+    for (int i = 0; i < 20000; ++i)
+        fp += isFpOp(g.next().op);
+    EXPECT_GT(fp, 2000);
+}
+
+TEST(StreamGenerator, BurstsProduceIndependentColdLoads)
+{
+    StreamGenerator g(specProfile("swim"), 0);
+    int independent_cold = 0;
+    for (int i = 0; i < 200000; ++i) {
+        SynthInst inst = g.next();
+        if (inst.isLoad() && inst.effAddr >= 0x4000'0000 &&
+            inst.srcDist[0] == 0 && inst.srcDist[1] == 0)
+            ++independent_cold;
+    }
+    EXPECT_GT(independent_cold, 500)
+        << "swim should exhibit clustered, independent misses";
+}
+
+} // namespace
+} // namespace smthill

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Unit tests for the Table 3 multiprogrammed workloads.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "trace/spec_profiles.hh"
+#include "workload/workloads.hh"
+
+namespace smthill
+{
+namespace
+{
+
+TEST(Workloads, FortyTwoTotal)
+{
+    EXPECT_EQ(allWorkloads().size(), 42u);
+    EXPECT_EQ(twoThreadWorkloads().size(), 21u);
+    EXPECT_EQ(fourThreadWorkloads().size(), 21u);
+}
+
+TEST(Workloads, SevenPerGroup)
+{
+    for (const auto &g : workloadGroups())
+        EXPECT_EQ(workloadsInGroup(g).size(), 7u) << g;
+}
+
+TEST(Workloads, GroupThreadCountsConsistent)
+{
+    for (const auto &w : allWorkloads()) {
+        bool four = w.group.back() == '4';
+        EXPECT_EQ(w.numThreads(), four ? 4 : 2) << w.name;
+    }
+}
+
+TEST(Workloads, AllBenchmarksExist)
+{
+    for (const auto &w : allWorkloads())
+        for (const auto &b : w.benchmarks)
+            EXPECT_TRUE(isSpecBenchmark(b)) << w.name << ": " << b;
+}
+
+TEST(Workloads, GroupCompositionMatchesCategories)
+{
+    // ILP groups contain only ILP benchmarks; MEM groups only MEM;
+    // MIX groups contain at least one of each.
+    for (const auto &w : allWorkloads()) {
+        int mem = 0;
+        for (const auto &b : w.benchmarks)
+            mem += specInfo(b).isMem;
+        if (w.group.rfind("ILP", 0) == 0)
+            EXPECT_EQ(mem, 0) << w.name;
+        else if (w.group.rfind("MEM", 0) == 0)
+            // Table 3's MEM4 rows include parser (an ILP benchmark)
+            // twice, so MEM groups are "all but at most one" MEM.
+            EXPECT_GE(mem, w.numThreads() - 1) << w.name;
+        else {
+            EXPECT_GT(mem, 0) << w.name;
+            EXPECT_LT(mem, w.numThreads()) << w.name;
+        }
+    }
+}
+
+TEST(Workloads, NamesAreUnique)
+{
+    std::set<std::string> names;
+    for (const auto &w : allWorkloads())
+        EXPECT_TRUE(names.insert(w.name).second) << w.name;
+}
+
+TEST(Workloads, PaperRscSumsSpotChecks)
+{
+    // Table 3 lists the summed Table 2 "Rsc" values.
+    EXPECT_EQ(workloadByName("apsi-eon").paperRscSum(), 127 + 82);
+    EXPECT_EQ(workloadByName("art-mcf").paperRscSum(), 176 + 97);
+    EXPECT_EQ(workloadByName("swim-mcf").paperRscSum(), 213 + 97);
+    EXPECT_EQ(workloadByName("apsi-gap-wupwise-perlbmk").paperRscSum(),
+              127 + 208 + 161 + 59);
+    EXPECT_EQ(workloadByName("art-mcf-vpr-swim").paperRscSum(),
+              176 + 97 + 180 + 213);
+}
+
+TEST(Workloads, LookupByNameWorks)
+{
+    const Workload &w = workloadByName("art-mcf");
+    EXPECT_EQ(w.group, "MEM2");
+    ASSERT_EQ(w.benchmarks.size(), 2u);
+    EXPECT_EQ(w.benchmarks[0], "art");
+    EXPECT_EQ(w.benchmarks[1], "mcf");
+}
+
+TEST(Workloads, UnknownLookupDies)
+{
+    EXPECT_DEATH(workloadByName("quake3-doom"), "unknown workload");
+    EXPECT_DEATH(workloadsInGroup("ILP9"), "unknown workload group");
+}
+
+TEST(Workloads, MakeGeneratorsProducesOnePerThread)
+{
+    const Workload &w = workloadByName("art-mcf-swim-twolf");
+    auto gens = w.makeGenerators();
+    ASSERT_EQ(gens.size(), 4u);
+    EXPECT_EQ(gens[0].profile().name, "art");
+    EXPECT_EQ(gens[3].profile().name, "twolf");
+}
+
+TEST(Workloads, SeedSaltVariesStreams)
+{
+    const Workload &w = workloadByName("art-mcf");
+    auto a = w.makeGenerators(0);
+    auto b = w.makeGenerators(1);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a[0].next().effAddr == b[0].next().effAddr;
+    EXPECT_LT(same, 100);
+}
+
+TEST(Workloads, ReconstructedRowsAreMarked)
+{
+    int reconstructed = 0;
+    for (const auto &w : allWorkloads())
+        reconstructed += w.reconstructed;
+    EXPECT_EQ(reconstructed, 4) << "exactly the 4 illegible 4-thread "
+                                   "rows are reconstructions";
+    // All 2-thread and all MEM4 rows are verbatim.
+    for (const auto &w : allWorkloads()) {
+        if (w.numThreads() == 2 || w.group == "MEM4") {
+            EXPECT_FALSE(w.reconstructed) << w.name;
+        }
+    }
+}
+
+} // namespace
+} // namespace smthill

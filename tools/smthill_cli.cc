@@ -1,0 +1,221 @@
+/**
+ * @file
+ * smthill command-line driver: run any workload under any policy
+ * with any machine/experiment parameters, and print end metrics, a
+ * derived statistics report, per-epoch CSV series, or a pipeline
+ * trace — without recompiling.
+ *
+ * Usage:
+ *   smthill_cli [key=value ...] [config=FILE]
+ *   smthill_cli help            (list options, policies, workloads)
+ *
+ * Examples:
+ *   smthill_cli workload=art-mcf policy=hill-wipc epochs=64
+ *   smthill_cli workload=swim-twolf policy=dcra csv=1
+ *   smthill_cli workload=art-mcf policy=flush int_regs=128 trace=200
+ */
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/log.hh"
+#include "common/options.hh"
+#include "core/hill_climbing.hh"
+#include "harness/report.hh"
+#include "harness/runner.hh"
+#include "harness/table.hh"
+#include "phase/phase_hill.hh"
+#include "policy/dcra.hh"
+#include "policy/dg.hh"
+#include "policy/flush.hh"
+#include "policy/icount.hh"
+#include "policy/stall.hh"
+#include "policy/stall_flush.hh"
+#include "policy/static_partition.hh"
+#include "workload/workloads.hh"
+
+using namespace smthill;
+
+namespace
+{
+
+std::unique_ptr<ResourcePolicy>
+makePolicy(const std::string &name, Cycle epoch_size)
+{
+    HillConfig hc;
+    hc.epochSize = epoch_size;
+    if (name == "icount")
+        return std::make_unique<IcountPolicy>();
+    if (name == "stall")
+        return std::make_unique<StallPolicy>();
+    if (name == "flush")
+        return std::make_unique<FlushPolicy>();
+    if (name == "stall-flush")
+        return std::make_unique<StallFlushPolicy>();
+    if (name == "dg")
+        return std::make_unique<DgPolicy>();
+    if (name == "pdg")
+        return std::make_unique<PdgPolicy>();
+    if (name == "dcra")
+        return std::make_unique<DcraPolicy>();
+    if (name == "static")
+        return std::make_unique<StaticPartitionPolicy>();
+    if (name == "hill-ipc") {
+        hc.metric = PerfMetric::AvgIpc;
+        return std::make_unique<HillClimbing>(hc);
+    }
+    if (name == "hill-wipc") {
+        hc.metric = PerfMetric::WeightedIpc;
+        return std::make_unique<HillClimbing>(hc);
+    }
+    if (name == "hill-hwipc") {
+        hc.metric = PerfMetric::HarmonicWeightedIpc;
+        return std::make_unique<HillClimbing>(hc);
+    }
+    if (name == "phase-hill") {
+        hc.metric = PerfMetric::WeightedIpc;
+        return std::make_unique<PhaseHillClimbing>(hc);
+    }
+    return nullptr;
+}
+
+const char *kPolicyNames =
+    "icount stall flush stall-flush dg pdg dcra static hill-ipc "
+    "hill-wipc hill-hwipc phase-hill";
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string workload_name = "art-mcf";
+    std::string policy_name = "hill-wipc";
+    std::string config_file;
+    RunConfig rc;
+    bool csv = false;
+    std::int64_t trace_events = 0;
+    std::uint64_t solo_epochs = 16;
+
+    OptionSet opts;
+    opts.addString("workload", &workload_name,
+                   "Table 3 workload name (e.g. art-mcf)");
+    opts.addString("policy", &policy_name, kPolicyNames);
+    opts.addString("config", &config_file,
+                   "config file of key = value lines");
+    opts.addInt32("epochs", &rc.epochs, "measured epochs");
+    opts.addUint("epoch_size", &rc.epochSize, "cycles per epoch");
+    opts.addUint("warmup", &rc.warmupCycles, "warm-up cycles");
+    opts.addUint("seed", &rc.seedSalt, "workload stream seed salt");
+    opts.addUint("solo_epochs", &solo_epochs,
+                 "epochs of solo run per thread (weighted metrics)");
+    opts.addBool("csv", &csv, "print per-epoch CSV instead of tables");
+    opts.addInt("trace", &trace_events,
+                "dump the last N pipeline events after the run");
+
+    // Machine overrides (Table 1 defaults).
+    opts.addInt32("fetch_width", &rc.machine.fetchWidth, "fetch width");
+    opts.addInt32("issue_width", &rc.machine.issueWidth, "issue width");
+    opts.addInt32("commit_width", &rc.machine.commitWidth,
+                  "commit width");
+    opts.addInt32("fetch_threads", &rc.machine.fetchThreadsPerCycle,
+                  "threads fetched per cycle (ICOUNT.x.8)");
+    opts.addInt32("ifq", &rc.machine.ifqSize, "IFQ entries");
+    opts.addInt32("int_iq", &rc.machine.intIqSize, "int IQ entries");
+    opts.addInt32("fp_iq", &rc.machine.fpIqSize, "fp IQ entries");
+    opts.addInt32("lsq", &rc.machine.lsqSize, "LSQ entries");
+    opts.addInt32("int_regs", &rc.machine.intRegs,
+                  "int rename registers (the partitioned unit)");
+    opts.addInt32("fp_regs", &rc.machine.fpRegs, "fp rename registers");
+    opts.addInt32("rob", &rc.machine.robSize, "ROB entries");
+    opts.addUint("mem_latency", &rc.machine.mem.memFirstChunk,
+                 "memory first-chunk latency");
+    opts.addUint("l2_latency", &rc.machine.mem.l2Latency,
+                 "L2 hit latency");
+
+    std::vector<std::string> args(argv + 1, argv + argc);
+    if (!args.empty() && (args[0] == "help" || args[0] == "--help")) {
+        std::printf("usage: %s [key=value ...]\n\noptions:\n", argv[0]);
+        opts.printHelp();
+        std::printf("\nworkloads:\n ");
+        for (const auto &w : allWorkloads())
+            std::printf(" %s", w.name.c_str());
+        std::printf("\n");
+        return 0;
+    }
+
+    std::vector<std::string> positional;
+    std::string error;
+    if (!opts.parseArgs(args, positional, error))
+        fatal(error);
+    if (!positional.empty())
+        fatal(msg("unexpected argument '", positional[0],
+                  "' (use key=value; see 'help')"));
+    if (!config_file.empty() && !opts.loadFile(config_file, error))
+        fatal(error);
+
+    const Workload &workload = workloadByName(workload_name);
+    auto policy = makePolicy(policy_name, rc.epochSize);
+    if (!policy)
+        fatal(msg("unknown policy '", policy_name, "'; choose from: ",
+                  kPolicyNames));
+
+    auto solo = soloIpcs(workload, rc, solo_epochs * rc.epochSize);
+
+    SmtCpu cpu = makeCpu(workload, rc);
+    PipelineTracer tracer(trace_events > 0
+                              ? static_cast<std::size_t>(trace_events)
+                              : 1);
+    if (trace_events > 0)
+        cpu.setTracer(&tracer);
+
+    RunResult res =
+        runPolicyOn(std::move(cpu), *policy, rc.epochs, rc.epochSize);
+
+    if (csv) {
+        std::printf("epoch");
+        for (int i = 0; i < workload.numThreads(); ++i)
+            std::printf(",ipc_%s", workload.benchmarks[i].c_str());
+        std::printf(",wipc,share0\n");
+        for (std::size_t e = 0; e < res.epochs.size(); ++e) {
+            std::printf("%zu", e);
+            for (int i = 0; i < workload.numThreads(); ++i)
+                std::printf(",%.4f", res.epochs[e].ipc.ipc[i]);
+            std::printf(",%.4f,%d\n",
+                        evalMetric(PerfMetric::WeightedIpc,
+                                   res.epochs[e].ipc, solo),
+                        res.epochs[e].partitioned
+                            ? res.epochs[e].partition.share[0]
+                            : -1);
+        }
+        return 0;
+    }
+
+    std::printf("workload %s (%s) under %s, %d epochs x %llu cycles\n\n",
+                workload.name.c_str(), workload.group.c_str(),
+                policy->name().c_str(), rc.epochs,
+                static_cast<unsigned long long>(rc.epochSize));
+
+    Table t({"metric", "value"});
+    t.beginRow();
+    t.cell(std::string("weighted IPC"));
+    t.cell(res.metric(PerfMetric::WeightedIpc, solo));
+    t.beginRow();
+    t.cell(std::string("average IPC"));
+    t.cell(res.metric(PerfMetric::AvgIpc, solo));
+    t.beginRow();
+    t.cell(std::string("harmonic mean"));
+    t.cell(res.metric(PerfMetric::HarmonicWeightedIpc, solo));
+    t.print();
+
+    // Derived statistics over the measured interval.
+    std::printf("\n");
+    res.report(workload.benchmarks).print();
+
+    if (trace_events > 0) {
+        std::printf("\nlast %zu pipeline events:\n", tracer.size());
+        tracer.dump(stdout);
+    }
+    return 0;
+}
