@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_abl_sweeps"
+  "../bench/bench_abl_sweeps.pdb"
+  "CMakeFiles/bench_abl_sweeps.dir/bench_abl_sweeps.cc.o"
+  "CMakeFiles/bench_abl_sweeps.dir/bench_abl_sweeps.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_sweeps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig02_surface"
+  "../bench/bench_fig02_surface.pdb"
+  "CMakeFiles/bench_fig02_surface.dir/bench_fig02_surface.cc.o"
+  "CMakeFiles/bench_fig02_surface.dir/bench_fig02_surface.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_surface.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig04_offline_limit"
+  "../bench/bench_fig04_offline_limit.pdb"
+  "CMakeFiles/bench_fig04_offline_limit.dir/bench_fig04_offline_limit.cc.o"
+  "CMakeFiles/bench_fig04_offline_limit.dir/bench_fig04_offline_limit.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_offline_limit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

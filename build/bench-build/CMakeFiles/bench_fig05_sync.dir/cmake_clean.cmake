@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig05_sync"
+  "../bench/bench_fig05_sync.pdb"
+  "CMakeFiles/bench_fig05_sync.dir/bench_fig05_sync.cc.o"
+  "CMakeFiles/bench_fig05_sync.dir/bench_fig05_sync.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

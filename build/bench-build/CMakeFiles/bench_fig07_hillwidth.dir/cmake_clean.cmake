@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig07_hillwidth"
+  "../bench/bench_fig07_hillwidth.pdb"
+  "CMakeFiles/bench_fig07_hillwidth.dir/bench_fig07_hillwidth.cc.o"
+  "CMakeFiles/bench_fig07_hillwidth.dir/bench_fig07_hillwidth.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_hillwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig09_hill_main"
+  "../bench/bench_fig09_hill_main.pdb"
+  "CMakeFiles/bench_fig09_hill_main.dir/bench_fig09_hill_main.cc.o"
+  "CMakeFiles/bench_fig09_hill_main.dir/bench_fig09_hill_main.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_hill_main.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

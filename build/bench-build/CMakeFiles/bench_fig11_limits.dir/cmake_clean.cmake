@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig11_limits"
+  "../bench/bench_fig11_limits.pdb"
+  "CMakeFiles/bench_fig11_limits.dir/bench_fig11_limits.cc.o"
+  "CMakeFiles/bench_fig11_limits.dir/bench_fig11_limits.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_limits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig12_behaviors"
+  "../bench/bench_fig12_behaviors.pdb"
+  "CMakeFiles/bench_fig12_behaviors.dir/bench_fig12_behaviors.cc.o"
+  "CMakeFiles/bench_fig12_behaviors.dir/bench_fig12_behaviors.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_behaviors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

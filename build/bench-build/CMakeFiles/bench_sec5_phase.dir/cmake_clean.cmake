@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sec5_phase"
+  "../bench/bench_sec5_phase.pdb"
+  "CMakeFiles/bench_sec5_phase.dir/bench_sec5_phase.cc.o"
+  "CMakeFiles/bench_sec5_phase.dir/bench_sec5_phase.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec5_phase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tab02_appchar"
+  "../bench/bench_tab02_appchar.pdb"
+  "CMakeFiles/bench_tab02_appchar.dir/bench_tab02_appchar.cc.o"
+  "CMakeFiles/bench_tab02_appchar.dir/bench_tab02_appchar.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab02_appchar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tab03_workloads"
+  "../bench/bench_tab03_workloads.pdb"
+  "CMakeFiles/bench_tab03_workloads.dir/bench_tab03_workloads.cc.o"
+  "CMakeFiles/bench_tab03_workloads.dir/bench_tab03_workloads.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab03_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metric_goals.dir/metric_goals.cpp.o"
+  "CMakeFiles/metric_goals.dir/metric_goals.cpp.o.d"
+  "metric_goals"
+  "metric_goals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metric_goals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

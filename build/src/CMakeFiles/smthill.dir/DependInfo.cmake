@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/branch/predictors.cc" "src/CMakeFiles/smthill.dir/branch/predictors.cc.o" "gcc" "src/CMakeFiles/smthill.dir/branch/predictors.cc.o.d"
+  "/root/repo/src/common/log.cc" "src/CMakeFiles/smthill.dir/common/log.cc.o" "gcc" "src/CMakeFiles/smthill.dir/common/log.cc.o.d"
+  "/root/repo/src/common/options.cc" "src/CMakeFiles/smthill.dir/common/options.cc.o" "gcc" "src/CMakeFiles/smthill.dir/common/options.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/smthill.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/smthill.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/smthill.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/smthill.dir/common/stats.cc.o.d"
+  "/root/repo/src/core/hill_climbing.cc" "src/CMakeFiles/smthill.dir/core/hill_climbing.cc.o" "gcc" "src/CMakeFiles/smthill.dir/core/hill_climbing.cc.o.d"
+  "/root/repo/src/core/hill_width.cc" "src/CMakeFiles/smthill.dir/core/hill_width.cc.o" "gcc" "src/CMakeFiles/smthill.dir/core/hill_width.cc.o.d"
+  "/root/repo/src/core/metrics.cc" "src/CMakeFiles/smthill.dir/core/metrics.cc.o" "gcc" "src/CMakeFiles/smthill.dir/core/metrics.cc.o.d"
+  "/root/repo/src/core/offline_exhaustive.cc" "src/CMakeFiles/smthill.dir/core/offline_exhaustive.cc.o" "gcc" "src/CMakeFiles/smthill.dir/core/offline_exhaustive.cc.o.d"
+  "/root/repo/src/core/partitioning.cc" "src/CMakeFiles/smthill.dir/core/partitioning.cc.o" "gcc" "src/CMakeFiles/smthill.dir/core/partitioning.cc.o.d"
+  "/root/repo/src/core/rand_hill.cc" "src/CMakeFiles/smthill.dir/core/rand_hill.cc.o" "gcc" "src/CMakeFiles/smthill.dir/core/rand_hill.cc.o.d"
+  "/root/repo/src/harness/report.cc" "src/CMakeFiles/smthill.dir/harness/report.cc.o" "gcc" "src/CMakeFiles/smthill.dir/harness/report.cc.o.d"
+  "/root/repo/src/harness/runner.cc" "src/CMakeFiles/smthill.dir/harness/runner.cc.o" "gcc" "src/CMakeFiles/smthill.dir/harness/runner.cc.o.d"
+  "/root/repo/src/harness/sync_runner.cc" "src/CMakeFiles/smthill.dir/harness/sync_runner.cc.o" "gcc" "src/CMakeFiles/smthill.dir/harness/sync_runner.cc.o.d"
+  "/root/repo/src/harness/table.cc" "src/CMakeFiles/smthill.dir/harness/table.cc.o" "gcc" "src/CMakeFiles/smthill.dir/harness/table.cc.o.d"
+  "/root/repo/src/memory/cache.cc" "src/CMakeFiles/smthill.dir/memory/cache.cc.o" "gcc" "src/CMakeFiles/smthill.dir/memory/cache.cc.o.d"
+  "/root/repo/src/memory/hierarchy.cc" "src/CMakeFiles/smthill.dir/memory/hierarchy.cc.o" "gcc" "src/CMakeFiles/smthill.dir/memory/hierarchy.cc.o.d"
+  "/root/repo/src/phase/bbv.cc" "src/CMakeFiles/smthill.dir/phase/bbv.cc.o" "gcc" "src/CMakeFiles/smthill.dir/phase/bbv.cc.o.d"
+  "/root/repo/src/phase/markov_predictor.cc" "src/CMakeFiles/smthill.dir/phase/markov_predictor.cc.o" "gcc" "src/CMakeFiles/smthill.dir/phase/markov_predictor.cc.o.d"
+  "/root/repo/src/phase/phase_hill.cc" "src/CMakeFiles/smthill.dir/phase/phase_hill.cc.o" "gcc" "src/CMakeFiles/smthill.dir/phase/phase_hill.cc.o.d"
+  "/root/repo/src/phase/phase_table.cc" "src/CMakeFiles/smthill.dir/phase/phase_table.cc.o" "gcc" "src/CMakeFiles/smthill.dir/phase/phase_table.cc.o.d"
+  "/root/repo/src/pipeline/cpu.cc" "src/CMakeFiles/smthill.dir/pipeline/cpu.cc.o" "gcc" "src/CMakeFiles/smthill.dir/pipeline/cpu.cc.o.d"
+  "/root/repo/src/pipeline/resources.cc" "src/CMakeFiles/smthill.dir/pipeline/resources.cc.o" "gcc" "src/CMakeFiles/smthill.dir/pipeline/resources.cc.o.d"
+  "/root/repo/src/pipeline/smt_config.cc" "src/CMakeFiles/smthill.dir/pipeline/smt_config.cc.o" "gcc" "src/CMakeFiles/smthill.dir/pipeline/smt_config.cc.o.d"
+  "/root/repo/src/pipeline/tracer.cc" "src/CMakeFiles/smthill.dir/pipeline/tracer.cc.o" "gcc" "src/CMakeFiles/smthill.dir/pipeline/tracer.cc.o.d"
+  "/root/repo/src/policy/dcra.cc" "src/CMakeFiles/smthill.dir/policy/dcra.cc.o" "gcc" "src/CMakeFiles/smthill.dir/policy/dcra.cc.o.d"
+  "/root/repo/src/policy/dg.cc" "src/CMakeFiles/smthill.dir/policy/dg.cc.o" "gcc" "src/CMakeFiles/smthill.dir/policy/dg.cc.o.d"
+  "/root/repo/src/policy/flush.cc" "src/CMakeFiles/smthill.dir/policy/flush.cc.o" "gcc" "src/CMakeFiles/smthill.dir/policy/flush.cc.o.d"
+  "/root/repo/src/policy/icount.cc" "src/CMakeFiles/smthill.dir/policy/icount.cc.o" "gcc" "src/CMakeFiles/smthill.dir/policy/icount.cc.o.d"
+  "/root/repo/src/policy/policy.cc" "src/CMakeFiles/smthill.dir/policy/policy.cc.o" "gcc" "src/CMakeFiles/smthill.dir/policy/policy.cc.o.d"
+  "/root/repo/src/policy/stall.cc" "src/CMakeFiles/smthill.dir/policy/stall.cc.o" "gcc" "src/CMakeFiles/smthill.dir/policy/stall.cc.o.d"
+  "/root/repo/src/policy/stall_flush.cc" "src/CMakeFiles/smthill.dir/policy/stall_flush.cc.o" "gcc" "src/CMakeFiles/smthill.dir/policy/stall_flush.cc.o.d"
+  "/root/repo/src/policy/static_partition.cc" "src/CMakeFiles/smthill.dir/policy/static_partition.cc.o" "gcc" "src/CMakeFiles/smthill.dir/policy/static_partition.cc.o.d"
+  "/root/repo/src/trace/program_profile.cc" "src/CMakeFiles/smthill.dir/trace/program_profile.cc.o" "gcc" "src/CMakeFiles/smthill.dir/trace/program_profile.cc.o.d"
+  "/root/repo/src/trace/spec_profiles.cc" "src/CMakeFiles/smthill.dir/trace/spec_profiles.cc.o" "gcc" "src/CMakeFiles/smthill.dir/trace/spec_profiles.cc.o.d"
+  "/root/repo/src/trace/stream_generator.cc" "src/CMakeFiles/smthill.dir/trace/stream_generator.cc.o" "gcc" "src/CMakeFiles/smthill.dir/trace/stream_generator.cc.o.d"
+  "/root/repo/src/workload/workloads.cc" "src/CMakeFiles/smthill.dir/workload/workloads.cc.o" "gcc" "src/CMakeFiles/smthill.dir/workload/workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_cache.cc" "tests/CMakeFiles/smthill_tests.dir/test_cache.cc.o" "gcc" "tests/CMakeFiles/smthill_tests.dir/test_cache.cc.o.d"
+  "/root/repo/tests/test_cpu.cc" "tests/CMakeFiles/smthill_tests.dir/test_cpu.cc.o" "gcc" "tests/CMakeFiles/smthill_tests.dir/test_cpu.cc.o.d"
+  "/root/repo/tests/test_cpu_partitioning.cc" "tests/CMakeFiles/smthill_tests.dir/test_cpu_partitioning.cc.o" "gcc" "tests/CMakeFiles/smthill_tests.dir/test_cpu_partitioning.cc.o.d"
+  "/root/repo/tests/test_custom_machines.cc" "tests/CMakeFiles/smthill_tests.dir/test_custom_machines.cc.o" "gcc" "tests/CMakeFiles/smthill_tests.dir/test_custom_machines.cc.o.d"
+  "/root/repo/tests/test_harness.cc" "tests/CMakeFiles/smthill_tests.dir/test_harness.cc.o" "gcc" "tests/CMakeFiles/smthill_tests.dir/test_harness.cc.o.d"
+  "/root/repo/tests/test_hierarchy.cc" "tests/CMakeFiles/smthill_tests.dir/test_hierarchy.cc.o" "gcc" "tests/CMakeFiles/smthill_tests.dir/test_hierarchy.cc.o.d"
+  "/root/repo/tests/test_hill_climbing.cc" "tests/CMakeFiles/smthill_tests.dir/test_hill_climbing.cc.o" "gcc" "tests/CMakeFiles/smthill_tests.dir/test_hill_climbing.cc.o.d"
+  "/root/repo/tests/test_hill_width.cc" "tests/CMakeFiles/smthill_tests.dir/test_hill_width.cc.o" "gcc" "tests/CMakeFiles/smthill_tests.dir/test_hill_width.cc.o.d"
+  "/root/repo/tests/test_integration.cc" "tests/CMakeFiles/smthill_tests.dir/test_integration.cc.o" "gcc" "tests/CMakeFiles/smthill_tests.dir/test_integration.cc.o.d"
+  "/root/repo/tests/test_metrics.cc" "tests/CMakeFiles/smthill_tests.dir/test_metrics.cc.o" "gcc" "tests/CMakeFiles/smthill_tests.dir/test_metrics.cc.o.d"
+  "/root/repo/tests/test_offline.cc" "tests/CMakeFiles/smthill_tests.dir/test_offline.cc.o" "gcc" "tests/CMakeFiles/smthill_tests.dir/test_offline.cc.o.d"
+  "/root/repo/tests/test_options.cc" "tests/CMakeFiles/smthill_tests.dir/test_options.cc.o" "gcc" "tests/CMakeFiles/smthill_tests.dir/test_options.cc.o.d"
+  "/root/repo/tests/test_partition_search.cc" "tests/CMakeFiles/smthill_tests.dir/test_partition_search.cc.o" "gcc" "tests/CMakeFiles/smthill_tests.dir/test_partition_search.cc.o.d"
+  "/root/repo/tests/test_phase.cc" "tests/CMakeFiles/smthill_tests.dir/test_phase.cc.o" "gcc" "tests/CMakeFiles/smthill_tests.dir/test_phase.cc.o.d"
+  "/root/repo/tests/test_policies.cc" "tests/CMakeFiles/smthill_tests.dir/test_policies.cc.o" "gcc" "tests/CMakeFiles/smthill_tests.dir/test_policies.cc.o.d"
+  "/root/repo/tests/test_predictors.cc" "tests/CMakeFiles/smthill_tests.dir/test_predictors.cc.o" "gcc" "tests/CMakeFiles/smthill_tests.dir/test_predictors.cc.o.d"
+  "/root/repo/tests/test_profiles.cc" "tests/CMakeFiles/smthill_tests.dir/test_profiles.cc.o" "gcc" "tests/CMakeFiles/smthill_tests.dir/test_profiles.cc.o.d"
+  "/root/repo/tests/test_properties.cc" "tests/CMakeFiles/smthill_tests.dir/test_properties.cc.o" "gcc" "tests/CMakeFiles/smthill_tests.dir/test_properties.cc.o.d"
+  "/root/repo/tests/test_rand_hill.cc" "tests/CMakeFiles/smthill_tests.dir/test_rand_hill.cc.o" "gcc" "tests/CMakeFiles/smthill_tests.dir/test_rand_hill.cc.o.d"
+  "/root/repo/tests/test_related_policies.cc" "tests/CMakeFiles/smthill_tests.dir/test_related_policies.cc.o" "gcc" "tests/CMakeFiles/smthill_tests.dir/test_related_policies.cc.o.d"
+  "/root/repo/tests/test_report_tracer.cc" "tests/CMakeFiles/smthill_tests.dir/test_report_tracer.cc.o" "gcc" "tests/CMakeFiles/smthill_tests.dir/test_report_tracer.cc.o.d"
+  "/root/repo/tests/test_resources.cc" "tests/CMakeFiles/smthill_tests.dir/test_resources.cc.o" "gcc" "tests/CMakeFiles/smthill_tests.dir/test_resources.cc.o.d"
+  "/root/repo/tests/test_rng.cc" "tests/CMakeFiles/smthill_tests.dir/test_rng.cc.o" "gcc" "tests/CMakeFiles/smthill_tests.dir/test_rng.cc.o.d"
+  "/root/repo/tests/test_stats.cc" "tests/CMakeFiles/smthill_tests.dir/test_stats.cc.o" "gcc" "tests/CMakeFiles/smthill_tests.dir/test_stats.cc.o.d"
+  "/root/repo/tests/test_stream_generator.cc" "tests/CMakeFiles/smthill_tests.dir/test_stream_generator.cc.o" "gcc" "tests/CMakeFiles/smthill_tests.dir/test_stream_generator.cc.o.d"
+  "/root/repo/tests/test_stress.cc" "tests/CMakeFiles/smthill_tests.dir/test_stress.cc.o" "gcc" "tests/CMakeFiles/smthill_tests.dir/test_stress.cc.o.d"
+  "/root/repo/tests/test_workloads.cc" "tests/CMakeFiles/smthill_tests.dir/test_workloads.cc.o" "gcc" "tests/CMakeFiles/smthill_tests.dir/test_workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/smthill.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

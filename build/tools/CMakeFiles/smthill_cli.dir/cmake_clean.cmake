@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smthill_cli.dir/smthill_cli.cc.o"
+  "CMakeFiles/smthill_cli.dir/smthill_cli.cc.o.d"
+  "smthill_cli"
+  "smthill_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smthill_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
