@@ -63,6 +63,18 @@ soloWindow(const RunConfig &rc)
     return static_cast<Cycle>(rc.epochs) * rc.epochSize;
 }
 
+/**
+ * Grid concurrency for benches: SMTHILL_JOBS pins it (CI sets 1 for
+ * byte-stable logs), otherwise all hardware threads are used.
+ */
+inline int
+benchJobs()
+{
+    return static_cast<int>(envScale(
+        "SMTHILL_JOBS",
+        static_cast<std::uint64_t>(ThreadPool::defaultJobs())));
+}
+
 } // namespace smthill::benchutil
 
 #endif // SMTHILL_BENCH_BENCH_COMMON_HH

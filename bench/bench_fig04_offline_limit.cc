@@ -32,20 +32,28 @@ main()
     const int stride =
         static_cast<int>(envScale("SMTHILL_OFFLINE_STRIDE", 16));
 
-    Table t({"workload", "group", "ICOUNT", "FLUSH", "DCRA", "OFF-LINE"});
-    GroupMeans means;
+    // One grid cell per workload; cells run concurrently (rc.jobs)
+    // and fill their own row, which is reduced/printed in order.
+    struct Row
+    {
+        double icount, flush, dcra, off;
+    };
+    const std::vector<Workload> workloads = twoThreadWorkloads();
+    std::vector<Row> rows(workloads.size());
 
-    for (const Workload &w : twoThreadWorkloads()) {
+    runGrid(workloads.size(), rc.jobs, [&](std::size_t i) {
+        const Workload &w = workloads[i];
         auto solo = soloIpcs(w, rc, soloWindow(rc));
 
         IcountPolicy icount;
         FlushPolicy flush;
         DcraPolicy dcra;
-        double m_icount = runPolicy(w, icount, rc)
-                              .metric(PerfMetric::WeightedIpc, solo);
-        double m_flush =
+        Row &r = rows[i];
+        r.icount = runPolicy(w, icount, rc)
+                       .metric(PerfMetric::WeightedIpc, solo);
+        r.flush =
             runPolicy(w, flush, rc).metric(PerfMetric::WeightedIpc, solo);
-        double m_dcra =
+        r.dcra =
             runPolicy(w, dcra, rc).metric(PerfMetric::WeightedIpc, solo);
 
         OfflineConfig oc;
@@ -54,24 +62,30 @@ main()
         oc.singleIpc = solo;
         OfflineExhaustive off(oc);
         SmtCpu cpu = makeCpu(w, rc);
-        double m_off = off.run(cpu, rc.epochs).meanMetric();
+        r.off = off.run(cpu, rc.epochs).meanMetric();
+    });
 
+    Table t({"workload", "group", "ICOUNT", "FLUSH", "DCRA", "OFF-LINE"});
+    GroupMeans means;
+    for (std::size_t i = 0; i < workloads.size(); ++i) {
+        const Workload &w = workloads[i];
+        const Row &r = rows[i];
         t.beginRow();
         t.cell(w.name);
         t.cell(w.group);
-        t.cell(m_icount);
-        t.cell(m_flush);
-        t.cell(m_dcra);
-        t.cell(m_off);
+        t.cell(r.icount);
+        t.cell(r.flush);
+        t.cell(r.dcra);
+        t.cell(r.off);
 
-        means.add(w.group + "/ICOUNT", m_icount);
-        means.add(w.group + "/FLUSH", m_flush);
-        means.add(w.group + "/DCRA", m_dcra);
-        means.add(w.group + "/OFF", m_off);
-        means.add("all/ICOUNT", m_icount);
-        means.add("all/FLUSH", m_flush);
-        means.add("all/DCRA", m_dcra);
-        means.add("all/OFF", m_off);
+        means.add(w.group + "/ICOUNT", r.icount);
+        means.add(w.group + "/FLUSH", r.flush);
+        means.add(w.group + "/DCRA", r.dcra);
+        means.add(w.group + "/OFF", r.off);
+        means.add("all/ICOUNT", r.icount);
+        means.add("all/FLUSH", r.flush);
+        means.add("all/DCRA", r.dcra);
+        means.add("all/OFF", r.off);
     }
     t.print();
 

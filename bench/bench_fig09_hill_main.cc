@@ -31,11 +31,17 @@ main()
 
     RunConfig rc = benchRunConfig(48);
 
-    Table t({"workload", "group", "ICOUNT", "FLUSH", "DCRA",
-             "HILL-WIPC"});
-    GroupMeans means;
+    // Workload cells run concurrently across rc.jobs threads; each
+    // fills its own row, reduced/printed in workload order below.
+    struct Row
+    {
+        double icount, flush, dcra, hill;
+    };
+    const std::vector<Workload> &workloads = allWorkloads();
+    std::vector<Row> rows(workloads.size());
 
-    for (const Workload &w : allWorkloads()) {
+    runGrid(workloads.size(), rc.jobs, [&](std::size_t i) {
+        const Workload &w = workloads[i];
         auto solo = soloIpcs(w, rc, soloWindow(rc));
 
         IcountPolicy icount;
@@ -46,30 +52,38 @@ main()
         hc.metric = PerfMetric::WeightedIpc;
         HillClimbing hill(hc);
 
-        double m_icount = runPolicy(w, icount, rc)
-                              .metric(PerfMetric::WeightedIpc, solo);
-        double m_flush =
+        Row &r = rows[i];
+        r.icount = runPolicy(w, icount, rc)
+                       .metric(PerfMetric::WeightedIpc, solo);
+        r.flush =
             runPolicy(w, flush, rc).metric(PerfMetric::WeightedIpc, solo);
-        double m_dcra =
+        r.dcra =
             runPolicy(w, dcra, rc).metric(PerfMetric::WeightedIpc, solo);
-        double m_hill =
+        r.hill =
             runPolicy(w, hill, rc).metric(PerfMetric::WeightedIpc, solo);
+    });
 
+    Table t({"workload", "group", "ICOUNT", "FLUSH", "DCRA",
+             "HILL-WIPC"});
+    GroupMeans means;
+    for (std::size_t i = 0; i < workloads.size(); ++i) {
+        const Workload &w = workloads[i];
+        const Row &r = rows[i];
         t.beginRow();
         t.cell(w.name);
         t.cell(w.group);
-        t.cell(m_icount);
-        t.cell(m_flush);
-        t.cell(m_dcra);
-        t.cell(m_hill);
+        t.cell(r.icount);
+        t.cell(r.flush);
+        t.cell(r.dcra);
+        t.cell(r.hill);
 
         for (const auto &key : {w.group, std::string("all"),
                                 std::string(w.numThreads() == 2 ? "2T"
                                                                 : "4T")}) {
-            means.add(key + "/ICOUNT", m_icount);
-            means.add(key + "/FLUSH", m_flush);
-            means.add(key + "/DCRA", m_dcra);
-            means.add(key + "/HILL", m_hill);
+            means.add(key + "/ICOUNT", r.icount);
+            means.add(key + "/FLUSH", r.flush);
+            means.add(key + "/DCRA", r.dcra);
+            means.add(key + "/HILL", r.hill);
         }
     }
     t.print();

@@ -40,40 +40,55 @@ main()
     // results[policy][eval_metric][group] accumulated as means.
     GroupMeans means;
 
-    for (const Workload &w : allWorkloads()) {
+    // The grid is workload x policy: every cell builds its own
+    // policy and machine, so all 6 x |workloads| runs are
+    // independent; evaluation values land in per-cell slots and the
+    // means accumulate serially afterwards.
+    const std::vector<Workload> &workloads = allWorkloads();
+    const std::size_t cells = workloads.size() * 6;
+    std::vector<std::array<double, 3>> values(cells);
+
+    runGrid(cells, rc.jobs, [&](std::size_t cell) {
+        const Workload &w = workloads[cell / 6];
+        const int pi = static_cast<int>(cell % 6);
         auto solo = soloIpcs(w, rc, soloWindow(rc));
 
-        for (int pi = 0; pi < 6; ++pi) {
-            std::unique_ptr<ResourcePolicy> policy;
-            switch (pi) {
-              case 0:
-                policy = std::make_unique<IcountPolicy>();
-                break;
-              case 1:
-                policy = std::make_unique<FlushPolicy>();
-                break;
-              case 2:
-                policy = std::make_unique<DcraPolicy>();
-                break;
-              default: {
-                HillConfig hc;
-                hc.epochSize = rc.epochSize;
-                hc.metric = pi == 3   ? PerfMetric::AvgIpc
-                            : pi == 4 ? PerfMetric::WeightedIpc
-                                      : PerfMetric::HarmonicWeightedIpc;
-                policy = std::make_unique<HillClimbing>(hc);
-              }
-            }
-            RunResult res = runPolicy(w, *policy, rc);
-            for (PerfMetric em : metrics) {
-                double v = res.metric(em, solo);
-                means.add(std::string(policy_names[pi]) + "/" +
-                              metricName(em) + "/" + w.group,
-                          v);
-                means.add(std::string(policy_names[pi]) + "/" +
-                              metricName(em) + "/all",
-                          v);
-            }
+        std::unique_ptr<ResourcePolicy> policy;
+        switch (pi) {
+          case 0:
+            policy = std::make_unique<IcountPolicy>();
+            break;
+          case 1:
+            policy = std::make_unique<FlushPolicy>();
+            break;
+          case 2:
+            policy = std::make_unique<DcraPolicy>();
+            break;
+          default: {
+            HillConfig hc;
+            hc.epochSize = rc.epochSize;
+            hc.metric = pi == 3   ? PerfMetric::AvgIpc
+                        : pi == 4 ? PerfMetric::WeightedIpc
+                                  : PerfMetric::HarmonicWeightedIpc;
+            policy = std::make_unique<HillClimbing>(hc);
+          }
+        }
+        RunResult res = runPolicy(w, *policy, rc);
+        for (int mi = 0; mi < 3; ++mi)
+            values[cell][mi] = res.metric(metrics[mi], solo);
+    });
+
+    for (std::size_t cell = 0; cell < cells; ++cell) {
+        const Workload &w = workloads[cell / 6];
+        const int pi = static_cast<int>(cell % 6);
+        for (int mi = 0; mi < 3; ++mi) {
+            double v = values[cell][mi];
+            means.add(std::string(policy_names[pi]) + "/" +
+                          metricName(metrics[mi]) + "/" + w.group,
+                      v);
+            means.add(std::string(policy_names[pi]) + "/" +
+                          metricName(metrics[mi]) + "/all",
+                      v);
         }
     }
 

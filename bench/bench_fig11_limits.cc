@@ -34,18 +34,26 @@ main()
         static_cast<int>(envScale("SMTHILL_RANDHILL_ITERS", 24));
 
     // ---- top: 2-thread, HILL vs OFF-LINE -------------------------
+    // Both halves fan their workload cells across rc.jobs threads;
+    // rows are filled per-cell and printed in order afterwards.
     std::printf("\n-- 2-thread: HILL-WIPC vs OFF-LINE --\n");
-    Table top({"workload", "group", "HILL-WIPC", "OFF-LINE",
-               "hill/ideal"});
     GroupMeans means;
-    for (const Workload &w : twoThreadWorkloads()) {
+
+    struct TwoRow
+    {
+        double hill, off;
+    };
+    const std::vector<Workload> two = twoThreadWorkloads();
+    std::vector<TwoRow> two_rows(two.size());
+    runGrid(two.size(), rc.jobs, [&](std::size_t i) {
+        const Workload &w = two[i];
         auto solo = soloIpcs(w, rc, soloWindow(rc));
 
         HillConfig hc;
         hc.epochSize = rc.epochSize;
         hc.metric = PerfMetric::WeightedIpc;
         HillClimbing hill(hc);
-        double m_hill =
+        two_rows[i].hill =
             runPolicy(w, hill, rc).metric(PerfMetric::WeightedIpc, solo);
 
         OfflineConfig oc;
@@ -54,8 +62,15 @@ main()
         oc.singleIpc = solo;
         OfflineExhaustive off(oc);
         SmtCpu cpu = makeCpu(w, rc);
-        double m_off = off.run(cpu, rc.epochs).meanMetric();
+        two_rows[i].off = off.run(cpu, rc.epochs).meanMetric();
+    });
 
+    Table top({"workload", "group", "HILL-WIPC", "OFF-LINE",
+               "hill/ideal"});
+    for (std::size_t i = 0; i < two.size(); ++i) {
+        const Workload &w = two[i];
+        double m_hill = two_rows[i].hill;
+        double m_off = two_rows[i].off;
         top.beginRow();
         top.cell(w.name);
         top.cell(w.group);
@@ -71,20 +86,26 @@ main()
 
     // ---- bottom: 4-thread, DCRA vs HILL vs RAND-HILL -------------
     std::printf("\n-- 4-thread: DCRA vs HILL-WIPC vs RAND-HILL --\n");
-    Table bot({"workload", "group", "DCRA", "HILL-WIPC", "RAND-HILL",
-               "hill/ideal"});
-    for (const Workload &w : fourThreadWorkloads()) {
+
+    struct FourRow
+    {
+        double dcra, hill, rand;
+    };
+    const std::vector<Workload> four = fourThreadWorkloads();
+    std::vector<FourRow> four_rows(four.size());
+    runGrid(four.size(), rc.jobs, [&](std::size_t i) {
+        const Workload &w = four[i];
         auto solo = soloIpcs(w, rc, soloWindow(rc));
 
         DcraPolicy dcra;
-        double m_dcra =
+        four_rows[i].dcra =
             runPolicy(w, dcra, rc).metric(PerfMetric::WeightedIpc, solo);
 
         HillConfig hc;
         hc.epochSize = rc.epochSize;
         hc.metric = PerfMetric::WeightedIpc;
         HillClimbing hill(hc);
-        double m_hill =
+        four_rows[i].hill =
             runPolicy(w, hill, rc).metric(PerfMetric::WeightedIpc, solo);
 
         RandHillConfig rh;
@@ -93,8 +114,16 @@ main()
         rh.singleIpc = solo;
         RandHill rand_hill(rh);
         SmtCpu cpu = makeCpu(w, rc);
-        double m_rand = rand_hill.run(cpu, rc.epochs).meanMetric();
+        four_rows[i].rand = rand_hill.run(cpu, rc.epochs).meanMetric();
+    });
 
+    Table bot({"workload", "group", "DCRA", "HILL-WIPC", "RAND-HILL",
+               "hill/ideal"});
+    for (std::size_t i = 0; i < four.size(); ++i) {
+        const Workload &w = four[i];
+        double m_dcra = four_rows[i].dcra;
+        double m_hill = four_rows[i].hill;
+        double m_rand = four_rows[i].rand;
         bot.beginRow();
         bot.cell(w.name);
         bot.cell(w.group);

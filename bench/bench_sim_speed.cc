@@ -11,6 +11,7 @@
 
 #include "branch/predictors.hh"
 #include "common/rng.hh"
+#include "core/offline_exhaustive.hh"
 #include "harness/runner.hh"
 #include "memory/cache.hh"
 #include "trace/spec_profiles.hh"
@@ -83,6 +84,30 @@ BM_HybridPredictor(benchmark::State &state)
     state.SetItemsProcessed(state.iterations());
 }
 
+/**
+ * The fig04 hot loop at bench stride (16 -> 15 trials/epoch) across
+ * 1/2/4/8 jobs; tracks the parallel layer's speedup. Results are
+ * bit-identical across the job counts (asserted by the determinism
+ * tests); this measures wall clock only.
+ */
+void
+BM_OfflineEpoch_Parallel(benchmark::State &state)
+{
+    SmtCpu cpu = machineFor({"art", "mcf"});
+    OfflineConfig oc;
+    oc.epochSize = 16 * 1024;
+    oc.stride = 16;
+    oc.jobs = static_cast<int>(state.range(0));
+    OfflineExhaustive off(oc);
+    for (auto _ : state) {
+        SmtCpu epoch_cpu = cpu;
+        benchmark::DoNotOptimize(off.stepEpoch(epoch_cpu));
+    }
+    state.SetItemsProcessed(state.iterations());
+    state.counters["jobs"] =
+        benchmark::Counter(static_cast<double>(oc.jobs));
+}
+
 void
 BM_CacheAccess(benchmark::State &state)
 {
@@ -104,6 +129,13 @@ BENCHMARK_CAPTURE(BM_CoreCycles, smt2_mem,
 BENCHMARK_CAPTURE(BM_CoreCycles, smt4_mix,
                   std::vector<std::string>{"art", "mcf", "fma3d", "gcc"});
 BENCHMARK(BM_Checkpoint);
+BENCHMARK(BM_OfflineEpoch_Parallel)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_StreamGenerator);
 BENCHMARK(BM_HybridPredictor);
 BENCHMARK(BM_CacheAccess);

@@ -9,11 +9,13 @@
 
 #include <cstdio>
 
+#include "bench_common.hh"
 #include "harness/table.hh"
 #include "trace/spec_profiles.hh"
 #include "workload/workloads.hh"
 
 using namespace smthill;
+using namespace smthill::benchutil;
 
 namespace
 {
@@ -67,15 +69,31 @@ main()
 
     for (const auto &group : workloadGroups()) {
         std::printf("\n-- %s --\n", group.c_str());
+        const std::vector<Workload> ws = workloadsInGroup(group);
+
+        // Classification cells run across the grid (cheap here, but
+        // the same pattern as the simulation benches).
+        struct Row
+        {
+            std::int64_t rsc;
+            std::string cls;
+        };
+        std::vector<Row> rows(ws.size());
+        runGrid(ws.size(), benchJobs(), [&](std::size_t i) {
+            rows[i].rsc =
+                static_cast<std::int64_t>(ws[i].paperRscSum());
+            rows[i].cls = classify(ws[i]);
+        });
+
         Table t({"workload", "Rsc(sum)", "class", "predicted",
                  "source"});
-        for (const auto &w : workloadsInGroup(group)) {
-            std::string cls = classify(w);
+        for (std::size_t i = 0; i < ws.size(); ++i) {
+            const Workload &w = ws[i];
             t.beginRow();
             t.cell(w.name);
-            t.cell(static_cast<std::int64_t>(w.paperRscSum()));
-            t.cell(cls);
-            t.cell(predict(cls));
+            t.cell(rows[i].rsc);
+            t.cell(rows[i].cls);
+            t.cell(predict(rows[i].cls));
             t.cell(std::string(w.reconstructed ? "reconstructed"
                                                : "Table 3"));
         }

@@ -1,0 +1,155 @@
+#include "common/thread_pool.hh"
+
+#include <atomic>
+#include <exception>
+#include <limits>
+
+namespace smthill
+{
+
+ThreadPool::ThreadPool(int jobs) : numJobs(jobs < 1 ? 1 : jobs)
+{
+    workers.reserve(static_cast<std::size_t>(numJobs - 1));
+    for (int i = 0; i < numJobs - 1; ++i)
+        workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(queueMutex);
+        shuttingDown = true;
+    }
+    queueCv.notify_all();
+    for (auto &w : workers)
+        w.join();
+}
+
+void
+ThreadPool::enqueue(std::function<void()> task)
+{
+    if (workers.empty()) {
+        task();
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(queueMutex);
+        queue.push_back(std::move(task));
+    }
+    queueCv.notify_one();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(queueMutex);
+            queueCv.wait(lock,
+                         [this] { return shuttingDown || !queue.empty(); });
+            if (queue.empty())
+                return; // shutting down and drained
+            task = std::move(queue.front());
+            queue.pop_front();
+        }
+        task();
+    }
+}
+
+namespace
+{
+
+/** Shared progress of one parallelFor call. */
+struct ForState
+{
+    std::atomic<std::size_t> next{0};
+    std::size_t n = 0;
+
+    std::mutex doneMutex;
+    std::condition_variable doneCv;
+    int helpersLeft = 0;
+
+    /** Lowest-index exception, if any task threw. */
+    std::exception_ptr error;
+    std::size_t errorIndex = std::numeric_limits<std::size_t>::max();
+
+    void
+    drain(const std::function<void(std::size_t)> &body)
+    {
+        for (std::size_t i = next.fetch_add(1); i < n;
+             i = next.fetch_add(1)) {
+            try {
+                body(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(doneMutex);
+                if (i < errorIndex) {
+                    errorIndex = i;
+                    error = std::current_exception();
+                }
+            }
+        }
+    }
+};
+
+} // namespace
+
+void
+ThreadPool::parallelFor(std::size_t n,
+                        const std::function<void(std::size_t)> &body)
+{
+    if (n == 0)
+        return;
+    if (workers.empty() || n == 1) {
+        // Exact serial execution: same thread, same order, and
+        // exceptions propagate directly from the throwing index.
+        for (std::size_t i = 0; i < n; ++i)
+            body(i);
+        return;
+    }
+
+    auto state = std::make_shared<ForState>();
+    state->n = n;
+
+    // One helper task per worker (capped by n - the caller drains
+    // too); each helper pulls indices from the shared dispenser, so
+    // load-imbalanced trials never idle a worker.
+    std::size_t helpers = workers.size();
+    if (helpers > n - 1)
+        helpers = n - 1;
+    state->helpersLeft = static_cast<int>(helpers);
+
+    for (std::size_t h = 0; h < helpers; ++h) {
+        enqueue([state, &body] {
+            state->drain(body);
+            std::lock_guard<std::mutex> lock(state->doneMutex);
+            if (--state->helpersLeft == 0)
+                state->doneCv.notify_all();
+        });
+    }
+
+    state->drain(body);
+
+    // Take the exception out of the shared state before rethrowing:
+    // the last reference to the exception object must be released
+    // here, on the caller, not by whichever worker happens to drop
+    // its ForState reference last.
+    std::exception_ptr err;
+    {
+        std::unique_lock<std::mutex> lock(state->doneMutex);
+        state->doneCv.wait(lock,
+                           [&] { return state->helpersLeft == 0; });
+        err = std::move(state->error);
+    }
+    if (err)
+        std::rethrow_exception(err);
+}
+
+int
+ThreadPool::defaultJobs()
+{
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw < 1 ? 1 : static_cast<int>(hw);
+}
+
+} // namespace smthill

@@ -10,6 +10,16 @@ runFixedPartitionEpoch(const SmtCpu &checkpoint, const Partition &partition,
                        Cycle epoch_size, SmtCpu *advanced)
 {
     SmtCpu trial = checkpoint;
+    if (!advanced) {
+        // Machine copies share the checkpoint's tracer/observer
+        // pointers, which are not thread-safe; pure trial epochs may
+        // run concurrently, so they run unobserved. The committing
+        // run (advanced != nullptr) is always serial and keeps them,
+        // so the machine handed back retains its attachments.
+        trial.setTracer(nullptr);
+        trial.setBranchObserver(nullptr, nullptr);
+        trial.setLoadObserver(nullptr, nullptr);
+    }
     trial.setPartition(partition);
     auto before = trial.stats().committed;
     trial.run(epoch_size);
@@ -37,7 +47,9 @@ OfflineResult::meanMetric() const
     return sum / static_cast<double>(epochs.size());
 }
 
-OfflineExhaustive::OfflineExhaustive(OfflineConfig config) : cfg(config)
+OfflineExhaustive::OfflineExhaustive(OfflineConfig config)
+    : cfg(config),
+      pool(std::make_shared<ThreadPool>(cfg.jobs < 1 ? 1 : cfg.jobs))
 {
     if (cfg.stride < 1)
         fatal("OfflineExhaustive: stride must be >= 1");
@@ -53,22 +65,35 @@ OfflineExhaustive::stepEpoch(SmtCpu &cpu) const
     const SmtCpu checkpoint = cpu;
     const int total = cpu.config().intRegs;
 
+    // Every trial is an independent function of the checkpoint, so
+    // the sweep fans out across the pool. Results land in per-trial
+    // slots and are reduced below in enumeration order, making the
+    // chosen partition (first strict maximum, i.e. lowest share[0]
+    // among exact ties) bit-identical to the serial jobs=1 path.
+    const std::vector<Partition> trials =
+        enumeratePartitions2(total, cfg.stride);
+    std::vector<IpcSample> samples(trials.size());
+    std::vector<double> metrics(trials.size());
+    pool->parallelFor(trials.size(), [&](std::size_t i) {
+        samples[i] =
+            runFixedPartitionEpoch(checkpoint, trials[i], cfg.epochSize);
+        metrics[i] = evalMetric(cfg.metric, samples[i], cfg.singleIpc);
+    });
+
     OfflineEpoch rec;
     double best_metric = -1.0;
     Partition best;
     IpcSample best_ipc;
 
-    for (const Partition &p : enumeratePartitions2(total, cfg.stride)) {
-        IpcSample s = runFixedPartitionEpoch(checkpoint, p, cfg.epochSize);
-        double m = evalMetric(cfg.metric, s, cfg.singleIpc);
+    for (std::size_t i = 0; i < trials.size(); ++i) {
         if (cfg.keepCurves) {
-            rec.curveShares.push_back(p.share[0]);
-            rec.curve.push_back(m);
+            rec.curveShares.push_back(trials[i].share[0]);
+            rec.curve.push_back(metrics[i]);
         }
-        if (m > best_metric) {
-            best_metric = m;
-            best = p;
-            best_ipc = s;
+        if (metrics[i] > best_metric) {
+            best_metric = metrics[i];
+            best = trials[i];
+            best_ipc = samples[i];
         }
     }
 

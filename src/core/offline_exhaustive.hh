@@ -15,8 +15,10 @@
 #define SMTHILL_CORE_OFFLINE_EXHAUSTIVE_HH
 
 #include <array>
+#include <memory>
 #include <vector>
 
+#include "common/thread_pool.hh"
 #include "core/metrics.hh"
 #include "core/partitioning.hh"
 #include "pipeline/cpu.hh"
@@ -45,6 +47,11 @@ struct OfflineConfig
     /** Stand-alone IPCs (known a priori in the off-line setting). */
     std::array<double, kMaxThreads> singleIpc{};
     bool keepCurves = false; ///< retain metric-vs-partition curves
+    /**
+     * Worker threads for the trial sweep; results are bit-identical
+     * for every value (jobs == 1 is the exact serial path).
+     */
+    int jobs = 1;
 };
 
 /** Record of one committed epoch. */
@@ -87,6 +94,8 @@ class OfflineExhaustive
 
   private:
     OfflineConfig cfg;
+    /** Trial-sweep pool, shared by copies of the learner. */
+    std::shared_ptr<ThreadPool> pool;
 };
 
 } // namespace smthill

@@ -7,7 +7,9 @@
 namespace smthill
 {
 
-RandHill::RandHill(RandHillConfig config) : cfg(config), rng(cfg.seed)
+RandHill::RandHill(RandHillConfig config)
+    : cfg(config), rng(cfg.seed),
+      pool(std::make_shared<ThreadPool>(cfg.jobs < 1 ? 1 : cfg.jobs))
 {
     if (cfg.iterations < 1)
         fatal("RandHill: need at least one iteration");
@@ -60,23 +62,41 @@ RandHill::stepEpoch(SmtCpu &cpu)
     Partition global_best = anchor;
     IpcSample global_best_ipc;
 
-    for (int iter = 0; iter < cfg.iterations; ++iter) {
-        int favored = iter % nt;
-        Partition trial =
-            trialPartition(anchor, favored, cfg.delta, cfg.minShare);
-        IpcSample s =
-            runFixedPartitionEpoch(checkpoint, trial, cfg.epochSize);
-        double m = evalMetric(cfg.metric, s, cfg.singleIpc);
-        round_perf[favored] = m;
+    // The climb proceeds round by round: each round's nt trials all
+    // derive from the same anchor and checkpoint (no RNG involved),
+    // so they fan out across the pool; the reduction, the anchor
+    // move, and any restart draw then happen serially in iteration
+    // order, which keeps every result — including the restart RNG
+    // sequence — bit-identical to the jobs=1 serial path.
+    for (int round_start = 0; round_start < cfg.iterations;
+         round_start += nt) {
+        const int len = std::min(nt, cfg.iterations - round_start);
 
-        if (m > global_best_metric) {
-            global_best_metric = m;
-            global_best = trial;
-            global_best_ipc = s;
+        std::array<Partition, kMaxThreads> trials;
+        std::array<IpcSample, kMaxThreads> samples;
+        std::array<double, kMaxThreads> metrics{};
+        for (int k = 0; k < len; ++k)
+            trials[k] =
+                trialPartition(anchor, k, cfg.delta, cfg.minShare);
+        pool->parallelFor(
+            static_cast<std::size_t>(len), [&](std::size_t k) {
+                samples[k] = runFixedPartitionEpoch(
+                    checkpoint, trials[k], cfg.epochSize);
+                metrics[k] =
+                    evalMetric(cfg.metric, samples[k], cfg.singleIpc);
+            });
+
+        for (int k = 0; k < len; ++k) {
+            round_perf[k] = metrics[k];
+            if (metrics[k] > global_best_metric) {
+                global_best_metric = metrics[k];
+                global_best = trials[k];
+                global_best_ipc = samples[k];
+            }
         }
 
-        if (favored == nt - 1) {
-            // End of a round: climb, or restart if we are at a peak.
+        if (len == nt) {
+            // End of a full round: climb, or restart at a peak.
             int g = 0;
             for (int i = 1; i < nt; ++i)
                 if (round_perf[i] > round_perf[g])

@@ -11,7 +11,10 @@
 #ifndef SMTHILL_CORE_RAND_HILL_HH
 #define SMTHILL_CORE_RAND_HILL_HH
 
+#include <memory>
+
 #include "common/rng.hh"
+#include "common/thread_pool.hh"
 #include "core/offline_exhaustive.hh"
 
 namespace smthill
@@ -27,6 +30,14 @@ struct RandHillConfig
     PerfMetric metric = PerfMetric::WeightedIpc;
     std::array<double, kMaxThreads> singleIpc{};
     std::uint64_t seed = 12345;
+    /**
+     * Worker threads for each round's trial epochs; results are
+     * bit-identical for every value (jobs == 1 is the exact serial
+     * path). The climb itself stays sequential — each anchor move
+     * and every restart draw depends on the previous round — so the
+     * parallel grain is the round's numThreads independent trials.
+     */
+    int jobs = 1;
 };
 
 /** The RAND-HILL ideal learner. */
@@ -53,6 +64,8 @@ class RandHill
 
     RandHillConfig cfg;
     Rng rng;
+    /** Round-trial pool, shared by copies of the learner. */
+    std::shared_ptr<ThreadPool> pool;
 };
 
 } // namespace smthill

@@ -1,7 +1,11 @@
 #include "harness/runner.hh"
 
 #include <cstdlib>
+#include <deque>
 #include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
 
 #include "common/log.hh"
 #include "trace/spec_profiles.hh"
@@ -12,30 +16,77 @@ namespace smthill
 namespace
 {
 
-/** Key the warm-machine cache on everything that shapes the state. */
-std::string
-machineKey(const Workload &workload, const RunConfig &config)
+/**
+ * Warm-machine cache key: every field that shapes the warmed state.
+ * Keying on the whole SmtConfig (not a hand-picked subset) means no
+ * future machine knob can silently alias two different machines.
+ */
+struct MachineKey
 {
-    const SmtConfig &m = config.machine;
-    std::string key = workload.name;
-    for (auto v : {static_cast<std::uint64_t>(config.seedSalt),
-                   static_cast<std::uint64_t>(config.warmupCycles),
-                   static_cast<std::uint64_t>(m.intRegs),
-                   static_cast<std::uint64_t>(m.robSize),
-                   static_cast<std::uint64_t>(m.intIqSize),
-                   static_cast<std::uint64_t>(m.lsqSize),
-                   static_cast<std::uint64_t>(m.fetchWidth),
-                   static_cast<std::uint64_t>(m.issueWidth),
-                   static_cast<std::uint64_t>(m.mem.ul2.sizeBytes),
-                   static_cast<std::uint64_t>(m.mem.memFirstChunk),
-                   static_cast<std::uint64_t>(m.memPorts),
-                   static_cast<std::uint64_t>(m.intAddUnits),
-                   static_cast<std::uint64_t>(m.fpRegs),
-                   static_cast<std::uint64_t>(m.mem.dl1.sizeBytes),
-                   static_cast<std::uint64_t>(m.mispredictRedirect)})
-        key += "/" + std::to_string(v);
-    return key;
-}
+    std::string workload;
+    std::uint64_t seedSalt;
+    Cycle warmupCycles;
+    SmtConfig machine;
+
+    auto operator<=>(const MachineKey &) const = default;
+};
+
+/**
+ * Cache slot whose value is built exactly once, outside the cache
+ * lock, so concurrent grid cells warming *different* machines never
+ * serialize behind each other.
+ */
+template <typename V>
+struct OnceSlot
+{
+    std::once_flag once;
+    std::optional<V> value;
+};
+
+/**
+ * Mutex-guarded, size-bounded, build-once cache. Eviction is FIFO by
+ * insertion; an evicted slot still being warmed stays alive through
+ * its shared_ptr, so readers are never invalidated.
+ */
+template <typename K, typename V>
+class WarmCache
+{
+  public:
+    explicit WarmCache(std::size_t max_entries) : maxEntries(max_entries)
+    {
+    }
+
+    template <typename Build>
+    V
+    get(const K &key, Build &&build)
+    {
+        std::shared_ptr<OnceSlot<V>> slot;
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            auto it = entries.find(key);
+            if (it == entries.end()) {
+                while (entries.size() >= maxEntries && !order.empty()) {
+                    entries.erase(order.front());
+                    order.pop_front();
+                }
+                slot = std::make_shared<OnceSlot<V>>();
+                entries.emplace(key, slot);
+                order.push_back(key);
+            } else {
+                slot = it->second;
+            }
+        }
+        std::call_once(slot->once,
+                       [&] { slot->value.emplace(build()); });
+        return *slot->value;
+    }
+
+  private:
+    std::size_t maxEntries;
+    std::mutex mutex;
+    std::map<K, std::shared_ptr<OnceSlot<V>>> entries;
+    std::deque<K> order;
+};
 
 } // namespace
 
@@ -44,19 +95,18 @@ makeCpu(const Workload &workload, const RunConfig &config)
 {
     // Warming a machine costs millions of cycles; benches build the
     // same warm machine for every policy, so cache it by value and
-    // hand out copies.
-    static std::map<std::string, SmtCpu> cache;
-    std::string key = machineKey(workload, config);
-    auto it = cache.find(key);
-    if (it != cache.end())
-        return it->second;
-
-    SmtConfig machine = config.machine;
-    machine.numThreads = workload.numThreads();
-    SmtCpu cpu(machine, workload.makeGenerators(config.seedSalt));
-    cpu.run(config.warmupCycles);
-    cache.emplace(key, cpu);
-    return cpu;
+    // hand out copies. Bounded: a long-lived process sweeping many
+    // machine configurations must not hold every warm machine alive.
+    static WarmCache<MachineKey, SmtCpu> cache(64);
+    MachineKey key{workload.name, config.seedSalt, config.warmupCycles,
+                   config.machine};
+    return cache.get(key, [&] {
+        SmtConfig machine = config.machine;
+        machine.numThreads = workload.numThreads();
+        SmtCpu cpu(machine, workload.makeGenerators(config.seedSalt));
+        cpu.run(config.warmupCycles);
+        return cpu;
+    });
 }
 
 IpcSample
@@ -125,27 +175,35 @@ soloIpc(const std::string &benchmark, const RunConfig &config,
         Cycle cycles)
 {
     // Process-wide cache: solo IPCs are reused across dozens of
-    // workloads and policies within one bench binary.
-    static std::map<std::string, double> cache;
-    std::string key = benchmark + "@" + std::to_string(cycles) + "/" +
-                      std::to_string(config.seedSalt) + "w" +
-                      std::to_string(config.warmupCycles);
-    auto it = cache.find(key);
-    if (it != cache.end())
-        return it->second;
+    // workloads and policies within one bench binary. Keyed on the
+    // whole machine configuration (the old string key ignored machine
+    // overrides, so ablation sweeps could read stale values).
+    struct SoloKey
+    {
+        std::string benchmark;
+        Cycle cycles;
+        std::uint64_t seedSalt;
+        Cycle warmupCycles;
+        SmtConfig machine;
 
-    SmtConfig machine = config.machine;
-    machine.numThreads = 1;
-    std::vector<StreamGenerator> gens;
-    gens.emplace_back(specProfile(benchmark), config.seedSalt * 131);
-    SmtCpu cpu(machine, std::move(gens));
-    cpu.run(config.warmupCycles);
-    std::uint64_t before = cpu.stats().committed[0];
-    cpu.run(cycles);
-    double ipc = static_cast<double>(cpu.stats().committed[0] - before) /
-                 static_cast<double>(cycles);
-    cache[key] = ipc;
-    return ipc;
+        auto operator<=>(const SoloKey &) const = default;
+    };
+    static WarmCache<SoloKey, double> cache(1024);
+    SoloKey key{benchmark, cycles, config.seedSalt, config.warmupCycles,
+                config.machine};
+    key.machine.numThreads = 1; // solo runs always use one context
+    return cache.get(key, [&] {
+        SmtConfig machine = config.machine;
+        machine.numThreads = 1;
+        std::vector<StreamGenerator> gens;
+        gens.emplace_back(specProfile(benchmark), config.seedSalt * 131);
+        SmtCpu cpu(machine, std::move(gens));
+        cpu.run(config.warmupCycles);
+        std::uint64_t before = cpu.stats().committed[0];
+        cpu.run(cycles);
+        return static_cast<double>(cpu.stats().committed[0] - before) /
+               static_cast<double>(cycles);
+    });
 }
 
 std::array<double, kMaxThreads>
@@ -155,6 +213,14 @@ soloIpcs(const Workload &workload, const RunConfig &config, Cycle cycles)
     for (int i = 0; i < workload.numThreads(); ++i)
         out[i] = soloIpc(workload.benchmarks[i], config, cycles);
     return out;
+}
+
+void
+runGrid(std::size_t cells, int jobs,
+        const std::function<void(std::size_t)> &cell)
+{
+    ThreadPool pool(jobs);
+    pool.parallelFor(cells, cell);
 }
 
 std::uint64_t
@@ -182,6 +248,8 @@ benchRunConfig(int default_epochs)
     rc.epochSize = envScale("SMTHILL_EPOCH_SIZE", rc.epochSize);
     rc.seedSalt = envScale("SMTHILL_SEED", 0);
     rc.warmupCycles = envScale("SMTHILL_WARMUP", rc.warmupCycles);
+    rc.jobs = static_cast<int>(
+        envScale("SMTHILL_JOBS", static_cast<std::uint64_t>(rc.jobs)));
     return rc;
 }
 

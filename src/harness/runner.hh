@@ -9,9 +9,11 @@
 #define SMTHILL_HARNESS_RUNNER_HH
 
 #include <array>
+#include <functional>
 #include <string>
 #include <vector>
 
+#include "common/thread_pool.hh"
 #include "core/metrics.hh"
 #include "harness/report.hh"
 #include "pipeline/cpu.hh"
@@ -37,6 +39,15 @@ struct RunConfig
      * inflate the weighted metrics.
      */
     Cycle warmupCycles = 2 * 1024 * 1024;
+
+    /**
+     * Concurrency for parallel sweeps (runGrid and the benches/CLI
+     * built on it). jobs == 1 restores exact serial execution on the
+     * calling thread; results are bit-identical either way because
+     * every cell is an independent function of value-copied machine
+     * state, reduced in index order.
+     */
+    int jobs = ThreadPool::defaultJobs();
 
     SmtConfig machine; ///< numThreads is overridden per workload
 };
@@ -105,6 +116,18 @@ double soloIpc(const std::string &benchmark, const RunConfig &config,
 std::array<double, kMaxThreads> soloIpcs(const Workload &workload,
                                          const RunConfig &config,
                                          Cycle cycles);
+
+/**
+ * Parallel sweep entry point for bench grids and the CLI: run
+ * @p cell(i) for every i in [0, cells) across @p jobs threads
+ * (jobs <= 1 runs serially on the calling thread). Cells must be
+ * independent: each writes only its own per-index output slot, which
+ * the caller then reduces/prints in index order. Everything reachable
+ * from a cell (makeCpu/soloIpc caches, workload tables, profiles) is
+ * thread-safe; policies and machines must be created inside the cell.
+ */
+void runGrid(std::size_t cells, int jobs,
+             const std::function<void(std::size_t)> &cell);
 
 /** Read an integer knob from the environment (benches scaling). */
 std::uint64_t envScale(const char *name, std::uint64_t def);

@@ -25,6 +25,8 @@ struct CacheConfig
     std::uint64_t sizeBytes = 64 * 1024;
     std::uint32_t lineBytes = 64;
     std::uint32_t ways = 2;
+
+    auto operator<=>(const CacheConfig &) const = default;
 };
 
 /** Result of a cache access. */

@@ -32,6 +32,8 @@ struct MemoryConfig
     Cycle memFirstChunk = 300;
     Cycle memInterChunk = 6;
     std::uint32_t chunkBytes = 8;
+
+    auto operator<=>(const MemoryConfig &) const = default;
 };
 
 /** Outcome of a data or instruction access. */

@@ -68,6 +68,9 @@ struct SmtConfig
 
     /** Abort if the configuration is internally inconsistent. */
     void validate() const;
+
+    /** Field-wise ordering/equality (warm-machine cache keys). */
+    auto operator<=>(const SmtConfig &) const = default;
 };
 
 } // namespace smthill

@@ -1,0 +1,238 @@
+/**
+ * @file
+ * The parallel execution layer's determinism contract: OFF-LINE
+ * exhaustive learning and RAND-HILL must produce bit-identical epoch
+ * records and chosen partitions at jobs=1 (the exact legacy serial
+ * path) and jobs=8, and runGrid cells must reduce to the same values
+ * as a serial loop.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/offline_exhaustive.hh"
+#include "core/rand_hill.hh"
+#include "harness/runner.hh"
+#include "policy/icount.hh"
+#include "trace/program_profile.hh"
+
+namespace smthill
+{
+namespace
+{
+
+ProgramProfile
+profileWith(double p_cold, int dep, const char *name)
+{
+    ProfileParams pp;
+    pp.name = name;
+    pp.numBlocks = 12;
+    pp.avgBlockLen = 8;
+    pp.pLoadCold = p_cold;
+    pp.meanDepDist = dep;
+    pp.serialFrac = 0.1;
+    return buildProfile(pp);
+}
+
+SmtCpu
+twoThreadCpu()
+{
+    SmtConfig cfg;
+    cfg.numThreads = 2;
+    std::vector<StreamGenerator> gens;
+    gens.emplace_back(profileWith(0.08, 30, "mem"), 0);
+    gens.emplace_back(profileWith(0.0, 6, "ilp"), 1);
+    SmtCpu cpu(cfg, std::move(gens));
+    cpu.run(80000);
+    return cpu;
+}
+
+SmtCpu
+fourThreadCpu()
+{
+    SmtConfig cfg;
+    cfg.numThreads = 4;
+    std::vector<StreamGenerator> gens;
+    gens.emplace_back(profileWith(0.08, 30, "mem0"), 0);
+    gens.emplace_back(profileWith(0.0, 6, "ilp1"), 1);
+    gens.emplace_back(profileWith(0.03, 14, "mix2"), 2);
+    gens.emplace_back(profileWith(0.0, 10, "ilp3"), 3);
+    SmtCpu cpu(cfg, std::move(gens));
+    cpu.run(80000);
+    return cpu;
+}
+
+void
+expectIdenticalEpochs(const OfflineResult &a, const OfflineResult &b)
+{
+    ASSERT_EQ(a.epochs.size(), b.epochs.size());
+    for (std::size_t e = 0; e < a.epochs.size(); ++e) {
+        const OfflineEpoch &ea = a.epochs[e];
+        const OfflineEpoch &eb = b.epochs[e];
+        EXPECT_EQ(ea.best, eb.best) << "epoch " << e;
+        EXPECT_EQ(ea.metricValue, eb.metricValue) << "epoch " << e;
+        ASSERT_EQ(ea.ipc.numThreads, eb.ipc.numThreads);
+        for (int t = 0; t < ea.ipc.numThreads; ++t)
+            EXPECT_EQ(ea.ipc.ipc[t], eb.ipc.ipc[t])
+                << "epoch " << e << " thread " << t;
+        EXPECT_EQ(ea.curveShares, eb.curveShares) << "epoch " << e;
+        EXPECT_EQ(ea.curve, eb.curve) << "epoch " << e;
+    }
+}
+
+TEST(ParallelDeterminism, OfflineIdenticalAcrossJobCounts)
+{
+    OfflineConfig oc;
+    oc.epochSize = 8192;
+    oc.stride = 16; // 15 trials per epoch
+    oc.metric = PerfMetric::AvgIpc;
+    oc.keepCurves = true;
+
+    OfflineConfig serial = oc;
+    serial.jobs = 1;
+    OfflineConfig parallel = oc;
+    parallel.jobs = 8;
+
+    SmtCpu a = twoThreadCpu();
+    SmtCpu b = twoThreadCpu();
+    OfflineResult ra = OfflineExhaustive(serial).run(a, 3);
+    OfflineResult rb = OfflineExhaustive(parallel).run(b, 3);
+
+    expectIdenticalEpochs(ra, rb);
+    // The advanced machines must also agree exactly.
+    EXPECT_EQ(a.now(), b.now());
+    EXPECT_EQ(a.stats().committedTotal(), b.stats().committedTotal());
+}
+
+TEST(ParallelDeterminism, OfflineTieBreakIsFirstMaximumInCurveOrder)
+{
+    // The reduce keeps the first strict maximum in enumeration
+    // order, and enumeratePartitions2 enumerates ascending share[0],
+    // so any exact metric tie resolves to the lowest share[0] — for
+    // every job count. Verified against the retained curve.
+    OfflineConfig oc;
+    oc.epochSize = 4096;
+    oc.stride = 32;
+    oc.metric = PerfMetric::AvgIpc;
+    oc.keepCurves = true;
+    for (int jobs : {1, 8}) {
+        oc.jobs = jobs;
+        SmtCpu cpu = twoThreadCpu();
+        OfflineEpoch rec = OfflineExhaustive(oc).stepEpoch(cpu);
+        ASSERT_FALSE(rec.curve.empty());
+        // Curve shares ascend, so the first maximum is the lowest
+        // share[0] among maxima; best must be exactly that trial.
+        std::size_t first_max = 0;
+        for (std::size_t i = 1; i < rec.curve.size(); ++i) {
+            EXPECT_GT(rec.curveShares[i], rec.curveShares[i - 1]);
+            if (rec.curve[i] > rec.curve[first_max])
+                first_max = i;
+        }
+        EXPECT_EQ(rec.best.share[0], rec.curveShares[first_max])
+            << "jobs=" << jobs;
+        EXPECT_EQ(rec.metricValue, rec.curve[first_max]);
+    }
+}
+
+TEST(ParallelDeterminism, RandHillIdenticalAcrossJobCounts)
+{
+    RandHillConfig rh;
+    rh.epochSize = 4096;
+    rh.iterations = 16;
+    rh.metric = PerfMetric::AvgIpc;
+    rh.seed = 7;
+
+    RandHillConfig serial = rh;
+    serial.jobs = 1;
+    RandHillConfig parallel = rh;
+    parallel.jobs = 8;
+
+    SmtCpu a = fourThreadCpu();
+    SmtCpu b = fourThreadCpu();
+    RandHill hs(serial);
+    RandHill hp(parallel);
+    OfflineResult ra = hs.run(a, 3);
+    OfflineResult rb = hp.run(b, 3);
+
+    expectIdenticalEpochs(ra, rb);
+    EXPECT_EQ(a.now(), b.now());
+    EXPECT_EQ(a.stats().committedTotal(), b.stats().committedTotal());
+}
+
+TEST(ParallelDeterminism, RandHillPartialLastRoundMatches)
+{
+    // iterations not a multiple of numThreads: the trailing partial
+    // round must behave identically in both modes.
+    RandHillConfig rh;
+    rh.epochSize = 4096;
+    rh.iterations = 10; // 2 full rounds + 2 trials on 4 threads
+    rh.metric = PerfMetric::AvgIpc;
+
+    RandHillConfig serial = rh;
+    serial.jobs = 1;
+    RandHillConfig parallel = rh;
+    parallel.jobs = 8;
+
+    SmtCpu a = fourThreadCpu();
+    SmtCpu b = fourThreadCpu();
+    OfflineEpoch ea = RandHill(serial).stepEpoch(a);
+    OfflineEpoch eb = RandHill(parallel).stepEpoch(b);
+    EXPECT_EQ(ea.best, eb.best);
+    EXPECT_EQ(ea.metricValue, eb.metricValue);
+}
+
+TEST(ParallelDeterminism, RunGridMatchesSerialLoop)
+{
+    // Same cells through runGrid at jobs=4 and a plain loop: the
+    // per-cell outputs must agree exactly (cells are pure functions
+    // of the shared warm machine).
+    RunConfig rc;
+    rc.epochs = 2;
+    rc.epochSize = 4096;
+    rc.warmupCycles = 40000;
+
+    const std::vector<Workload> workloads = {
+        workloadByName("art-mcf"), workloadByName("swim-twolf")};
+
+    auto runCell = [&](std::size_t i) {
+        IcountPolicy icount;
+        return runPolicy(workloads[i], icount, rc)
+            .overallIpc.ipc[0];
+    };
+
+    std::vector<double> serial(workloads.size());
+    for (std::size_t i = 0; i < workloads.size(); ++i)
+        serial[i] = runCell(i);
+
+    std::vector<double> parallel(workloads.size());
+    runGrid(workloads.size(), 4,
+            [&](std::size_t i) { parallel[i] = runCell(i); });
+
+    EXPECT_EQ(serial, parallel);
+}
+
+TEST(ParallelDeterminism, MakeCpuCacheCoherentUnderConcurrency)
+{
+    // Hammer the warm-machine cache from concurrent cells: every
+    // copy of the same workload/config must be the same machine.
+    RunConfig rc;
+    rc.epochs = 1;
+    rc.epochSize = 1024;
+    rc.warmupCycles = 20000;
+    const Workload &w = workloadByName("art-mcf");
+
+    SmtCpu reference = makeCpu(w, rc);
+    std::vector<Cycle> nows(16);
+    std::vector<std::uint64_t> committed(16);
+    runGrid(16, 8, [&](std::size_t i) {
+        SmtCpu cpu = makeCpu(w, rc);
+        nows[i] = cpu.now();
+        committed[i] = cpu.stats().committedTotal();
+    });
+    for (std::size_t i = 0; i < 16; ++i) {
+        EXPECT_EQ(nows[i], reference.now());
+        EXPECT_EQ(committed[i], reference.stats().committedTotal());
+    }
+}
+
+} // namespace
+} // namespace smthill

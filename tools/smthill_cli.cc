@@ -13,6 +13,11 @@
  *   smthill_cli workload=art-mcf policy=hill-wipc epochs=64
  *   smthill_cli workload=swim-twolf policy=dcra csv=1
  *   smthill_cli workload=art-mcf policy=flush int_regs=128 trace=200
+ *
+ * Comma-separated workload/policy lists run every combination as a
+ * grid of independent cells across `jobs` worker threads (default:
+ * all hardware threads) and print one summary table:
+ *   smthill_cli workload=art-mcf,swim-twolf policy=icount,dcra jobs=8
  */
 
 #include <cstdio>
@@ -85,6 +90,78 @@ const char *kPolicyNames =
     "icount stall flush stall-flush dg pdg dcra static hill-ipc "
     "hill-wipc hill-hwipc phase-hill";
 
+/** Split a comma-separated list; empty pieces are dropped. */
+std::vector<std::string>
+splitList(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= s.size()) {
+        std::size_t comma = s.find(',', start);
+        if (comma == std::string::npos)
+            comma = s.size();
+        if (comma > start)
+            out.push_back(s.substr(start, comma - start));
+        start = comma + 1;
+    }
+    return out;
+}
+
+/**
+ * Grid mode: run every workload x policy cell concurrently and print
+ * one row per cell, in list order.
+ */
+int
+runCliGrid(const std::vector<std::string> &workload_names,
+           const std::vector<std::string> &policy_names,
+           const RunConfig &rc, std::uint64_t solo_epochs)
+{
+    struct Cell
+    {
+        double wipc, ipc, hwipc;
+    };
+    const std::size_t cells =
+        workload_names.size() * policy_names.size();
+    std::vector<Cell> results(cells);
+
+    // Resolve names up front so unknown workloads/policies fail fast
+    // on the main thread instead of inside a worker.
+    std::vector<const Workload *> workloads;
+    for (const auto &wn : workload_names)
+        workloads.push_back(&workloadByName(wn));
+    for (const auto &pn : policy_names)
+        if (!makePolicy(pn, rc.epochSize))
+            fatal(msg("unknown policy '", pn, "'; choose from: ",
+                      kPolicyNames));
+
+    runGrid(cells, rc.jobs, [&](std::size_t i) {
+        const Workload &w = *workloads[i / policy_names.size()];
+        const std::string &pn = policy_names[i % policy_names.size()];
+        auto policy = makePolicy(pn, rc.epochSize);
+        auto solo = soloIpcs(w, rc, solo_epochs * rc.epochSize);
+        RunResult res = runPolicy(w, *policy, rc);
+        results[i] = {res.metric(PerfMetric::WeightedIpc, solo),
+                      res.metric(PerfMetric::AvgIpc, solo),
+                      res.metric(PerfMetric::HarmonicWeightedIpc, solo)};
+    });
+
+    std::printf("%zu x %zu grid, %d epochs x %llu cycles, jobs=%d\n\n",
+                workload_names.size(), policy_names.size(), rc.epochs,
+                static_cast<unsigned long long>(rc.epochSize), rc.jobs);
+    Table t({"workload", "policy", "weighted IPC", "avg IPC",
+             "harmonic"});
+    for (std::size_t i = 0; i < cells; ++i) {
+        t.beginRow();
+        t.cell(workload_names[i / policy_names.size()]);
+        t.cell(policy_names[i % policy_names.size()]);
+        t.cell(results[i].wipc);
+        t.cell(results[i].ipc);
+        t.cell(results[i].hwipc);
+    }
+    t.print();
+    return 0;
+}
+
 } // namespace
 
 int
@@ -113,6 +190,9 @@ main(int argc, char **argv)
     opts.addBool("csv", &csv, "print per-epoch CSV instead of tables");
     opts.addInt("trace", &trace_events,
                 "dump the last N pipeline events after the run");
+    opts.addInt32("jobs", &rc.jobs,
+                  "worker threads for workload/policy grids "
+                  "(default: hardware threads; 1 = serial)");
 
     // Machine overrides (Table 1 defaults).
     opts.addInt32("fetch_width", &rc.machine.fetchWidth, "fetch width");
@@ -154,6 +234,18 @@ main(int argc, char **argv)
                   "' (use key=value; see 'help')"));
     if (!config_file.empty() && !opts.loadFile(config_file, error))
         fatal(error);
+
+    std::vector<std::string> workload_names = splitList(workload_name);
+    std::vector<std::string> policy_names = splitList(policy_name);
+    if (workload_names.empty() || policy_names.empty())
+        fatal("workload/policy lists must not be empty");
+    if (workload_names.size() > 1 || policy_names.size() > 1) {
+        if (csv || trace_events > 0)
+            fatal("csv/trace are single-run features; drop them or "
+                  "run one workload x policy cell");
+        return runCliGrid(workload_names, policy_names, rc,
+                          solo_epochs);
+    }
 
     const Workload &workload = workloadByName(workload_name);
     auto policy = makePolicy(policy_name, rc.epochSize);
