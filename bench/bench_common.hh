@@ -8,10 +8,15 @@
 #define SMTHILL_BENCH_BENCH_COMMON_HH
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "common/json.hh"
+#include "common/log.hh"
+#include "common/stat_registry.hh"
 #include "harness/runner.hh"
 
 namespace smthill::benchutil
@@ -73,6 +78,54 @@ benchJobs()
     return static_cast<int>(envScale(
         "SMTHILL_JOBS",
         static_cast<std::uint64_t>(ThreadPool::defaultJobs())));
+}
+
+/**
+ * Export destination for the machine-readable figure data
+ * (SMTHILL_STATS_JSON); empty disables the export path entirely.
+ */
+inline std::string
+statsJsonPath()
+{
+    const char *p = std::getenv("SMTHILL_STATS_JSON");
+    return p && *p ? p : "";
+}
+
+/**
+ * Write @p doc to @p path, read the file back, and reparse it. The
+ * caller re-derives its figure values from the returned document and
+ * checks them against the stdout path, proving the export is a
+ * faithful substitute for scraping the tables. Fatal on I/O or parse
+ * failure.
+ */
+inline Json
+writeAndReloadJson(const std::string &path, const Json &doc)
+{
+    {
+        std::ofstream out(path, std::ios::binary);
+        out << doc.dump(2) << '\n';
+        if (!out)
+            fatal(msg("cannot write '", path, "'"));
+    }
+    std::ifstream in(path, std::ios::binary);
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    if (!in)
+        fatal(msg("cannot read back '", path, "'"));
+    Json reloaded;
+    std::string error;
+    if (!Json::parse(text, reloaded, error))
+        fatal(msg("export '", path, "' does not reparse: ", error));
+    return reloaded;
+}
+
+/** Fatal unless @p a and @p b are bit-identical doubles. */
+inline void
+checkExportValue(const char *what, double a, double b)
+{
+    if (a != b)
+        fatal(msg("export self-check failed for ", what, ": ", a,
+                  " != ", b));
 }
 
 } // namespace smthill::benchutil

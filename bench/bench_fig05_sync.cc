@@ -9,8 +9,15 @@
  *
  * Scale with SMTHILL_EPOCHS (default 24) and SMTHILL_OFFLINE_STRIDE
  * (default 16). SMTHILL_WORKLOAD overrides the workload.
+ *
+ * SMTHILL_STATS_JSON=FILE additionally writes the per-epoch series
+ * as `smthill.bench.fig05.v1` JSON, reparses the file, re-derives
+ * the win rates from the parsed data, and fails unless they are
+ * bit-identical to the stdout path — the figure is reproducible from
+ * the export alone.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 
@@ -67,5 +74,48 @@ main()
     std::printf("  vs ICOUNT: %5.1f%%\n", 100.0 * res.offlineWinRate(0));
     std::printf("  vs FLUSH : %5.1f%%\n", 100.0 * res.offlineWinRate(1));
     std::printf("  vs DCRA  : %5.1f%%\n", 100.0 * res.offlineWinRate(2));
+
+    const std::string export_path = statsJsonPath();
+    if (!export_path.empty()) {
+        const char *names[] = {"ICOUNT", "FLUSH", "DCRA"};
+        Json doc = Json::object();
+        doc.set("schema", Json("smthill.bench.fig05.v1"));
+        doc.set("workload", Json(wname));
+        doc.set("epochs", Json(rc.epochs));
+        Json series = Json::object();
+        auto pushSeries = [&](const char *name,
+                              const std::vector<double> &vals) {
+            Json arr = Json::array();
+            for (double v : vals)
+                arr.push(Json(v));
+            series.set(name, std::move(arr));
+        };
+        for (std::size_t p = 0; p < 3; ++p)
+            pushSeries(names[p], res.others[p].metric);
+        pushSeries("OFF-LINE", res.offline.metric);
+        doc.set("series", std::move(series));
+        doc.set("counters", globalStats().toJson());
+
+        // Re-derive every win rate from the re-parsed file and demand
+        // bit-identity with the in-memory numbers printed above.
+        Json re = writeAndReloadJson(export_path, doc);
+        const Json &rs = re.at("series");
+        for (std::size_t p = 0; p < 3; ++p) {
+            const auto &off = rs.at("OFF-LINE").items();
+            const auto &other = rs.at(names[p]).items();
+            std::size_t n = std::min(off.size(), other.size());
+            std::size_t wins = 0;
+            for (std::size_t e = 0; e < n; ++e)
+                if (off[e].asDouble() >= other[e].asDouble())
+                    ++wins;
+            double rate = n ? static_cast<double>(wins) /
+                                  static_cast<double>(n)
+                            : 0.0;
+            checkExportValue(names[p], rate, res.offlineWinRate(p));
+        }
+        std::printf("\nexported %s (win rates re-derived from the "
+                    "file match)\n",
+                    export_path.c_str());
+    }
     return 0;
 }

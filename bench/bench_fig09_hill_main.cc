@@ -9,6 +9,11 @@
  *
  * Scale with SMTHILL_EPOCHS (default 64; the paper's 1B-instruction
  * windows correspond to thousands of epochs of learning time).
+ *
+ * SMTHILL_STATS_JSON=FILE additionally writes every cell as
+ * `smthill.bench.fig09.v1` JSON, reparses the file, re-derives the
+ * overall means and headline gains from the parsed cells, and fails
+ * unless they are bit-identical to the stdout path.
  */
 
 #include <cstdio>
@@ -111,5 +116,47 @@ main()
               means.mean("4T/DCRA"));
     printGain("MEM2 over DCRA (paper +5.1%)", means.mean("MEM2/HILL"),
               means.mean("MEM2/DCRA"));
+
+    const std::string export_path = statsJsonPath();
+    if (!export_path.empty()) {
+        Json doc = Json::object();
+        doc.set("schema", Json("smthill.bench.fig09.v1"));
+        doc.set("epochs", Json(rc.epochs));
+        doc.set("epoch_size", Json(rc.epochSize));
+        Json cells = Json::array();
+        for (std::size_t i = 0; i < workloads.size(); ++i) {
+            Json c = Json::object();
+            c.set("workload", Json(workloads[i].name));
+            c.set("group", Json(workloads[i].group));
+            c.set("threads", Json(workloads[i].numThreads()));
+            c.set("icount", Json(rows[i].icount));
+            c.set("flush", Json(rows[i].flush));
+            c.set("dcra", Json(rows[i].dcra));
+            c.set("hill", Json(rows[i].hill));
+            cells.push(std::move(c));
+        }
+        doc.set("cells", std::move(cells));
+        doc.set("counters", globalStats().toJson());
+
+        // Re-derive the overall means from the re-parsed cells and
+        // demand bit-identity with the stdout path. GroupMeans adds
+        // values in the same (workload) order, so the float sums are
+        // reproducible exactly.
+        Json re = writeAndReloadJson(export_path, doc);
+        GroupMeans remeans;
+        for (const Json &c : re.at("cells").items()) {
+            remeans.add("all/ICOUNT", c.at("icount").asDouble());
+            remeans.add("all/FLUSH", c.at("flush").asDouble());
+            remeans.add("all/DCRA", c.at("dcra").asDouble());
+            remeans.add("all/HILL", c.at("hill").asDouble());
+        }
+        for (const char *k : {"ICOUNT", "FLUSH", "DCRA", "HILL"})
+            checkExportValue(k,
+                             remeans.mean(std::string("all/") + k),
+                             means.mean(std::string("all/") + k));
+        std::printf("\nexported %s (overall means re-derived from the "
+                    "file match)\n",
+                    export_path.c_str());
+    }
     return 0;
 }

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Minimal JSON value type with a writer and a parser.
+ *
+ * The observability layer exports machine-readable artifacts — stat
+ * registry dumps, derived reports, per-epoch hill-climbing traces —
+ * and the test suite round-trips them (export -> parse -> compare),
+ * so both directions live here. The dialect is strict JSON except
+ * that the writer emits non-finite doubles as null (JSON has no
+ * representation for them) and the parser accepts no extensions.
+ */
+
+#ifndef SMTHILL_COMMON_JSON_HH
+#define SMTHILL_COMMON_JSON_HH
+
+#include <cstdint>
+#include <initializer_list>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace smthill
+{
+
+/** One JSON value: null, bool, number, string, array, or object. */
+class Json
+{
+  public:
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object
+    };
+
+    Json() = default;
+    Json(std::nullptr_t) {}
+    Json(bool v) : kind_(Kind::Bool), boolVal(v) {}
+    Json(double v) : kind_(Kind::Number), numVal(v) {}
+    Json(int v) : kind_(Kind::Number), numVal(v) {}
+    Json(std::int64_t v)
+        : kind_(Kind::Number), numVal(static_cast<double>(v))
+    {
+    }
+    Json(std::uint64_t v)
+        : kind_(Kind::Number), numVal(static_cast<double>(v))
+    {
+    }
+    Json(const char *v) : kind_(Kind::String), strVal(v) {}
+    Json(std::string v) : kind_(Kind::String), strVal(std::move(v)) {}
+
+    /** @return an empty array value. */
+    static Json array();
+
+    /** @return an empty object value. */
+    static Json object();
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isBool() const { return kind_ == Kind::Bool; }
+    bool isNumber() const { return kind_ == Kind::Number; }
+    bool isString() const { return kind_ == Kind::String; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isObject() const { return kind_ == Kind::Object; }
+
+    bool asBool() const { return boolVal; }
+    double asDouble() const { return numVal; }
+    std::int64_t asInt() const { return static_cast<std::int64_t>(numVal); }
+    const std::string &asString() const { return strVal; }
+
+    /** Array access; fatal if not an array. */
+    const std::vector<Json> &items() const;
+
+    /** Append to an array value (fatal if not an array). */
+    Json &push(Json v);
+
+    /** Object member access; fatal if absent or not an object. */
+    const Json &at(const std::string &key) const;
+
+    /** @return true if this is an object containing @p key. */
+    bool contains(const std::string &key) const;
+
+    /** Set an object member (fatal if not an object). */
+    Json &set(const std::string &key, Json v);
+
+    /** Object members in insertion order. */
+    const std::vector<std::pair<std::string, Json>> &members() const;
+
+    std::size_t size() const;
+
+    /** Serialize; @p indent > 0 pretty-prints with that many spaces. */
+    std::string dump(int indent = 0) const;
+
+    /**
+     * Parse strict JSON from @p text.
+     * @param error receives a message with offset on failure
+     * @return the parsed value, or nullopt-like Null with error set
+     */
+    static bool parse(const std::string &text, Json &out,
+                      std::string &error);
+
+    bool operator==(const Json &other) const;
+
+  private:
+    void dumpTo(std::string &out, int indent, int depth) const;
+
+    Kind kind_ = Kind::Null;
+    bool boolVal = false;
+    double numVal = 0.0;
+    std::string strVal;
+    std::vector<Json> arr;
+    /** Insertion-ordered object members (stable export layout). */
+    std::vector<std::pair<std::string, Json>> obj;
+};
+
+/** Escape @p s for embedding in a JSON string literal (no quotes). */
+std::string jsonEscape(const std::string &s);
+
+} // namespace smthill
+
+#endif // SMTHILL_COMMON_JSON_HH

@@ -1,0 +1,172 @@
+#include "common/stat_registry.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace smthill
+{
+
+void
+StatDistribution::add(double v)
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    if (n == 0) {
+        lo = v;
+        hi = v;
+    } else {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+    }
+    ++n;
+    total += v;
+    totalSq += v * v;
+}
+
+std::uint64_t
+StatDistribution::count() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    return n;
+}
+
+double
+StatDistribution::mean() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    return n == 0 ? 0.0 : total / static_cast<double>(n);
+}
+
+double
+StatDistribution::min() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    return n == 0 ? 0.0 : lo;
+}
+
+double
+StatDistribution::max() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    return n == 0 ? 0.0 : hi;
+}
+
+double
+StatDistribution::stddev() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    if (n == 0)
+        return 0.0;
+    double m = total / static_cast<double>(n);
+    double var = totalSq / static_cast<double>(n) - m * m;
+    return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
+void
+StatDistribution::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    n = 0;
+    total = 0.0;
+    totalSq = 0.0;
+    lo = 0.0;
+    hi = 0.0;
+}
+
+StatRegistry::Node &
+StatRegistry::lookup(const std::string &name, Kind kind)
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    auto it = index.find(name);
+    if (it != index.end()) {
+        if (it->second->kind != kind)
+            fatal(msg("StatRegistry: '", name,
+                      "' already registered with a different kind"));
+        return *it->second;
+    }
+    // Nodes hold atomics and a mutex (non-movable), so they are
+    // constructed in place; deque storage never relocates them.
+    Node &node = nodes.emplace_back();
+    node.name = name;
+    node.kind = kind;
+    index.emplace(name, &node);
+    return node;
+}
+
+StatCounter &
+StatRegistry::counter(const std::string &name)
+{
+    return lookup(name, Kind::Counter).counter;
+}
+
+StatGauge &
+StatRegistry::gauge(const std::string &name)
+{
+    return lookup(name, Kind::Gauge).gauge;
+}
+
+StatDistribution &
+StatRegistry::distribution(const std::string &name)
+{
+    return lookup(name, Kind::Distribution).dist;
+}
+
+Json
+StatRegistry::toJson() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    Json out = Json::object();
+    for (const Node &node : nodes) {
+        switch (node.kind) {
+          case Kind::Counter:
+            out.set(node.name, Json(node.counter.value()));
+            break;
+          case Kind::Gauge:
+            out.set(node.name, Json(node.gauge.value()));
+            break;
+          case Kind::Distribution: {
+            Json d = Json::object();
+            d.set("count", Json(node.dist.count()));
+            d.set("mean", Json(node.dist.mean()));
+            d.set("min", Json(node.dist.min()));
+            d.set("max", Json(node.dist.max()));
+            d.set("stddev", Json(node.dist.stddev()));
+            out.set(node.name, std::move(d));
+            break;
+          }
+        }
+    }
+    return out;
+}
+
+std::vector<std::string>
+StatRegistry::names() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    std::vector<std::string> out;
+    out.reserve(nodes.size());
+    for (const Node &node : nodes)
+        out.push_back(node.name);
+    return out;
+}
+
+void
+StatRegistry::resetValues()
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    for (Node &node : nodes) {
+        node.counter.reset();
+        node.gauge.reset();
+        node.dist.reset();
+    }
+}
+
+StatRegistry &
+globalStats()
+{
+    static StatRegistry registry;
+    return registry;
+}
+
+} // namespace smthill

@@ -7,7 +7,10 @@
 namespace smthill
 {
 
-ThreadPool::ThreadPool(int jobs) : numJobs(jobs < 1 ? 1 : jobs)
+ThreadPool::ThreadPool(int jobs)
+    : numJobs(jobs < 1 ? 1 : jobs),
+      tasksStat(globalStats().counter("thread_pool.tasks")),
+      queueDepthStat(globalStats().gauge("thread_pool.queue_depth"))
 {
     workers.reserve(static_cast<std::size_t>(numJobs - 1));
     for (int i = 0; i < numJobs - 1; ++i)
@@ -29,12 +32,14 @@ void
 ThreadPool::enqueue(std::function<void()> task)
 {
     if (workers.empty()) {
+        tasksStat.inc();
         task();
         return;
     }
     {
         std::lock_guard<std::mutex> lock(queueMutex);
         queue.push_back(std::move(task));
+        queueDepthStat.set(static_cast<double>(queue.size()));
     }
     queueCv.notify_one();
 }
@@ -52,7 +57,9 @@ ThreadPool::workerLoop()
                 return; // shutting down and drained
             task = std::move(queue.front());
             queue.pop_front();
+            queueDepthStat.set(static_cast<double>(queue.size()));
         }
+        tasksStat.inc();
         task();
     }
 }

@@ -29,6 +29,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/stat_registry.hh"
+
 namespace smthill
 {
 
@@ -98,6 +100,11 @@ class ThreadPool
     std::condition_variable queueCv;
     std::deque<std::function<void()>> queue;
     bool shuttingDown = false;
+
+    // Observability (globalStats(); see stat_registry.hh): executed
+    // task count and the queue depth at each enqueue/dequeue edge.
+    StatCounter &tasksStat;
+    StatGauge &queueDepthStat;
 };
 
 } // namespace smthill

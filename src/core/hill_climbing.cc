@@ -38,27 +38,83 @@ HillClimbing::attach(SmtCpu &cpu)
     // partition for every thread (Figure 8, footnote).
     anchorPartition = Partition::equal(nt, cpu.config().intRegs);
     roundPerf.fill(0.0);
+    singleIpcEst.fill(0.0);
     lastCommitted = cpu.stats().committed;
+    lastEpochStart = cpu.now();
+    lastElapsed = 0;
     algEpoch = 0;
     epochsSinceSample = 0;
     sampleRotation = 0;
     samplingThread = -1;
+    bootstrapPending = 0;
     for (int i = 0; i < nt; ++i)
         cpu.setFetchLocked(static_cast<ThreadId>(i), false);
-    installTrial(cpu);
+
+    // Bootstrap the stand-alone IPC estimates (Section 4.2): before
+    // any estimate exists, WIPC/HWIPC degenerate into raw-IPC
+    // learning (evalMetric's solo() fallback), so the first epochs
+    // sample every thread solo once. Learning epochs begin only
+    // after the last bootstrap sample lands.
+    if (cfg.sampleSingleIpc && needsSingleIpc() && nt > 1) {
+        bootstrapPending = nt;
+        beginSample(cpu, 0);
+        sampleRotation = 1 % nt;
+    } else {
+        installTrial(cpu);
+    }
 }
 
 IpcSample
 HillClimbing::measureEpoch(const SmtCpu &cpu)
 {
+    // The software-cost stall at the previous boundary froze the
+    // machine for the first cycles of this epoch, and callers may
+    // drive boundaries at a cadence other than cfg.epochSize; both
+    // would bias trial comparisons if IPC were computed over the
+    // nominal epoch size, so divide by the cycles the measurement
+    // window actually covered.
     IpcSample s;
     s.numThreads = cpu.numThreads();
+    Cycle now = cpu.now();
+    lastElapsed = now > lastEpochStart ? now - lastEpochStart : 1;
     const auto &committed = cpu.stats().committed;
     for (int i = 0; i < s.numThreads; ++i) {
         s.ipc[i] = static_cast<double>(committed[i] - lastCommitted[i]) /
-                   static_cast<double>(cfg.epochSize);
+                   static_cast<double>(lastElapsed);
     }
     return s;
+}
+
+void
+HillClimbing::beginSample(SmtCpu &cpu, int tid)
+{
+    samplingThread = tid;
+    int nt = cpu.numThreads();
+    for (int i = 0; i < nt; ++i)
+        cpu.setThreadEnabled(static_cast<ThreadId>(i), i == tid);
+    // The solo thread gets the whole machine during the sample.
+    cpu.clearPartition();
+}
+
+void
+HillClimbing::chargeBoundary(SmtCpu &cpu)
+{
+    // Charge the software implementation cost (Section 4.2) and note
+    // where the next measurement window really starts: commits resume
+    // only once the stall drains.
+    cpu.stallUntil(cpu.now() + cfg.softwareCost);
+    lastCommitted = cpu.stats().committed;
+    lastEpochStart = cpu.now() + cfg.softwareCost;
+}
+
+bool
+HillClimbing::estimatesReady() const
+{
+    // Meaningful only for metrics that use the estimates.
+    for (int i = 0; i < anchorPartition.numThreads; ++i)
+        if (singleIpcEst[i] <= 0.0)
+            return false;
+    return anchorPartition.numThreads > 0;
 }
 
 void
@@ -72,38 +128,86 @@ HillClimbing::installTrial(SmtCpu &cpu)
 }
 
 void
-HillClimbing::epoch(SmtCpu &cpu, std::uint64_t)
+HillClimbing::traceEpoch(const SmtCpu &cpu, std::uint64_t epoch_id,
+                         const IpcSample &sample, const Partition &trial,
+                         bool was_partitioned, double metric_value,
+                         int sampled_thread, int gradient_thread,
+                         bool anchor_moved)
+{
+    if (!epochTracerPtr)
+        return;
+    EpochTraceRecord rec;
+    rec.epochId = epoch_id;
+    rec.cycle = cpu.now();
+    rec.elapsedCycles = lastElapsed;
+    rec.numThreads = sample.numThreads;
+    for (int i = 0; i < sample.numThreads; ++i)
+        rec.ipc[i] = sample.ipc[i];
+    rec.metricValue = metric_value;
+    rec.partitioned = was_partitioned;
+    rec.trial = trial;
+    rec.anchor = anchorPartition;
+    rec.roundPerf = roundPerf;
+    rec.singleIpcEst = singleIpcEst;
+    rec.gradientThread = gradient_thread;
+    rec.samplingThread = sampled_thread;
+    rec.anchorMoved = anchor_moved;
+    rec.softwareCost = cfg.softwareCost;
+    epochTracerPtr->record(std::move(rec));
+}
+
+void
+HillClimbing::epoch(SmtCpu &cpu, std::uint64_t epoch_id)
 {
     int nt = cpu.numThreads();
     IpcSample sample = measureEpoch(cpu);
-    lastCommitted = cpu.stats().committed;
+    // The partition the finished epoch actually ran under.
+    Partition ran = cpu.partition();
+    bool ran_partitioned = cpu.partitioningEnabled();
 
     if (samplingThread >= 0) {
         // The epoch that just ended ran samplingThread solo; its IPC
         // is the thread's stand-alone IPC estimate. Resume normal
         // multithreaded execution without consuming a learning epoch.
-        singleIpcEst[samplingThread] = sample.ipc[samplingThread];
-        for (int i = 0; i < nt; ++i)
-            cpu.setThreadEnabled(static_cast<ThreadId>(i), true);
-        samplingThread = -1;
-        installTrial(cpu);
-        cpu.stallUntil(cpu.now() + cfg.softwareCost);
+        int sampled = samplingThread;
+        singleIpcEst[sampled] = sample.ipc[sampled];
+        if (bootstrapPending > 0)
+            --bootstrapPending;
+        if (bootstrapPending > 0) {
+            // Attach-time bootstrap: chain straight into the next
+            // thread's solo epoch until every estimate is populated.
+            int next = sampleRotation;
+            sampleRotation = (sampleRotation + 1) % nt;
+            beginSample(cpu, next);
+        } else {
+            samplingThread = -1;
+            for (int i = 0; i < nt; ++i)
+                cpu.setThreadEnabled(static_cast<ThreadId>(i), true);
+            installTrial(cpu);
+        }
+        traceEpoch(cpu, epoch_id, sample, ran, ran_partitioned,
+                   sample.ipc[sampled], sampled, -1, false);
+        chargeBoundary(cpu);
         return;
     }
 
     // Figure 8 line 7: record the performance of the previous epoch.
-    roundPerf[algEpoch % nt] = evalMetric(cfg.metric, sample, singleIpcEst);
+    double perf = evalMetric(cfg.metric, sample, singleIpcEst);
+    roundPerf[algEpoch % nt] = perf;
 
     // Figure 8 lines 8-15: at the end of a round, move the anchor in
     // favor of the best-performing trial (the positive gradient).
+    int gradient_thread = -1;
+    bool anchor_moved = false;
     if (algEpoch % nt == static_cast<std::uint64_t>(nt - 1)) {
-        int gradient_thread = 0;
+        gradient_thread = 0;
         for (int i = 1; i < nt; ++i)
             if (roundPerf[i] > roundPerf[gradient_thread])
                 gradient_thread = i;
         Partition next = moveAnchor(anchorPartition, gradient_thread,
                                     cfg.delta, cfg.minShare);
         anchorPartition = overrideAnchor(cpu, next);
+        anchor_moved = true;
     }
 
     ++algEpoch;
@@ -111,24 +215,20 @@ HillClimbing::epoch(SmtCpu &cpu, std::uint64_t)
     // SingleIPC sampling (Section 4.2): every samplePeriod epochs,
     // run one thread solo for the next epoch. Only the weighted
     // metrics need stand-alone IPCs.
-    bool needs_single = cfg.metric != PerfMetric::AvgIpc;
-    if (cfg.sampleSingleIpc && needs_single && nt > 1 &&
+    if (cfg.sampleSingleIpc && needsSingleIpc() && nt > 1 &&
         ++epochsSinceSample >= cfg.samplePeriod) {
         epochsSinceSample = 0;
-        samplingThread = sampleRotation;
+        int next = sampleRotation;
         sampleRotation = (sampleRotation + 1) % nt;
-        for (int i = 0; i < nt; ++i)
-            cpu.setThreadEnabled(static_cast<ThreadId>(i),
-                                 i == samplingThread);
-        // The solo thread gets the whole machine during the sample.
-        cpu.clearPartition();
+        beginSample(cpu, next);
     } else {
         // Figure 8 lines 16-21: install the next trial partition.
         installTrial(cpu);
     }
 
-    // Charge the software implementation cost (Section 4.2).
-    cpu.stallUntil(cpu.now() + cfg.softwareCost);
+    traceEpoch(cpu, epoch_id, sample, ran, ran_partitioned, perf, -1,
+               gradient_thread, anchor_moved);
+    chargeBoundary(cpu);
 }
 
 std::unique_ptr<ResourcePolicy>

@@ -12,8 +12,12 @@
  * is configurable (average IPC, weighted IPC, or harmonic mean of
  * weighted IPC); the weighted metrics learn each thread's stand-alone
  * IPC on-line by periodically running the thread solo for one epoch
- * (Section 4.2). Every epoch boundary charges the software cost of
- * running the algorithm by stalling the machine (200 cycles).
+ * (Section 4.2); right after attach, every thread is sampled solo
+ * once (the bootstrap) so the weighted metrics never run on empty
+ * estimates. Every epoch boundary charges the software cost of
+ * running the algorithm by stalling the machine (200 cycles), and
+ * per-epoch IPCs are measured over the cycles the machine actually
+ * executed, not the nominal epoch size.
  */
 
 #ifndef SMTHILL_CORE_HILL_CLIMBING_HH
@@ -22,6 +26,7 @@
 #include <array>
 #include <cstdint>
 
+#include "core/epoch_trace.hh"
 #include "core/metrics.hh"
 #include "core/partitioning.hh"
 #include "policy/policy.hh"
@@ -73,6 +78,17 @@ class HillClimbing : public ResourcePolicy
     /** @return true while a solo-sampling epoch is in flight. */
     bool samplingActive() const { return samplingThread >= 0; }
 
+    /**
+     * @return true while the initial SingleIPC bootstrap (one solo
+     * epoch per thread, right after attach) is still running. Until
+     * it completes no learning epoch has executed, so the weighted
+     * metrics never see the degenerate all-zero estimate state.
+     */
+    bool bootstrapping() const { return bootstrapPending > 0; }
+
+    /** @return true once every thread has a stand-alone IPC sample. */
+    bool estimatesReady() const;
+
   protected:
     /**
      * Hook for extensions (Section 5 phase-based learning), invoked
@@ -84,11 +100,35 @@ class HillClimbing : public ResourcePolicy
         return next;
     }
 
-    /** Measure per-thread IPCs of the epoch that just ended. */
+    /**
+     * Measure per-thread IPCs of the epoch that just ended, over the
+     * cycles the machine actually executed since measurement resumed
+     * (excluding the software-cost stall charged at the previous
+     * boundary), not the nominal epoch size.
+     */
     IpcSample measureEpoch(const SmtCpu &cpu);
 
     /** Install the trial partition for the upcoming epoch. */
     void installTrial(SmtCpu &cpu);
+
+    /** Put @p tid solo on the machine for one sampling epoch. */
+    void beginSample(SmtCpu &cpu, int tid);
+
+    /** Charge the software cost and restart the measurement window. */
+    void chargeBoundary(SmtCpu &cpu);
+
+    /** @return true if the metric needs stand-alone IPC estimates. */
+    bool needsSingleIpc() const
+    {
+        return cfg.metric != PerfMetric::AvgIpc;
+    }
+
+    /** Record this boundary's state into the attached tracer. */
+    void traceEpoch(const SmtCpu &cpu, std::uint64_t epoch_id,
+                    const IpcSample &sample, const Partition &trial,
+                    bool was_partitioned, double metric_value,
+                    int sampled_thread, int gradient_thread,
+                    bool anchor_moved);
 
     HillConfig cfg;
     Partition anchorPartition;
@@ -96,9 +136,12 @@ class HillClimbing : public ResourcePolicy
     std::array<double, kMaxThreads> singleIpcEst{};
     std::array<std::uint64_t, kMaxThreads> lastCommitted{};
     std::uint64_t algEpoch = 0;   ///< epochs consumed by learning
+    Cycle lastEpochStart = 0;     ///< cycle measurement resumed at
+    Cycle lastElapsed = 0;        ///< cycles covered by the last sample
     int epochsSinceSample = 0;
     int sampleRotation = 0;       ///< next thread to sample
     int samplingThread = -1;      ///< thread running solo, or -1
+    int bootstrapPending = 0;     ///< attach-time solo samples left
 };
 
 } // namespace smthill

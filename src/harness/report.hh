@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "common/json.hh"
 #include "pipeline/cpu.hh"
 
 namespace smthill
@@ -23,6 +24,7 @@ namespace smthill
 struct MachineSnapshot
 {
     Cycle cycle = 0;
+    int numThreads = 0; ///< hardware contexts of the captured machine
     CpuStats stats;
     std::array<std::uint64_t, kMaxThreads> dl1Misses{};
     std::array<std::uint64_t, kMaxThreads> l2Misses{};
@@ -43,6 +45,9 @@ struct ThreadReport
     double flushedPerCommit = 0.0; ///< squashed / committed
     double lockedFrac = 0.0;      ///< partition-locked fetch cycles
     std::uint64_t committed = 0;
+    std::uint64_t flushed = 0;    ///< squashed, even when committed==0
+
+    bool operator==(const ThreadReport &) const = default;
 };
 
 /** Whole-machine derived report. */
@@ -50,11 +55,28 @@ struct MachineReport
 {
     Cycle cycles = 0;
     double totalIpc = 0.0;
+    std::uint64_t stalledCycles = 0; ///< software-cost stall cycles
     std::vector<ThreadReport> threads;
 
     /** Pretty-print to stdout. */
     void print() const;
+
+    /**
+     * Machine-readable export (`smthill.report.v1`): every field of
+     * the report, one object per thread. Round-trips exactly through
+     * machineReportFromJson.
+     */
+    Json toJson() const;
+
+    bool operator==(const MachineReport &) const = default;
 };
+
+/**
+ * Rebuild a report from a toJson() export.
+ * @return false with @p error set if @p j is not a v1 report
+ */
+bool machineReportFromJson(const Json &j, MachineReport &out,
+                           std::string &error);
 
 /**
  * Build a report over the interval [@p before, @p after].

@@ -8,6 +8,7 @@
 #include <optional>
 
 #include "common/log.hh"
+#include "common/stat_registry.hh"
 #include "trace/spec_profiles.hh"
 
 namespace smthill
@@ -52,7 +53,15 @@ template <typename K, typename V>
 class WarmCache
 {
   public:
-    explicit WarmCache(std::size_t max_entries) : maxEntries(max_entries)
+    /**
+     * @param name stat prefix; hit/miss/eviction counters register as
+     *        "<name>.hits" etc. in globalStats()
+     */
+    WarmCache(std::size_t max_entries, const std::string &name)
+        : maxEntries(max_entries),
+          hitsStat(globalStats().counter(name + ".hits")),
+          missesStat(globalStats().counter(name + ".misses")),
+          evictionsStat(globalStats().counter(name + ".evictions"))
     {
     }
 
@@ -68,12 +77,15 @@ class WarmCache
                 while (entries.size() >= maxEntries && !order.empty()) {
                     entries.erase(order.front());
                     order.pop_front();
+                    evictionsStat.inc();
                 }
                 slot = std::make_shared<OnceSlot<V>>();
                 entries.emplace(key, slot);
                 order.push_back(key);
+                missesStat.inc();
             } else {
                 slot = it->second;
+                hitsStat.inc();
             }
         }
         std::call_once(slot->once,
@@ -86,6 +98,9 @@ class WarmCache
     std::mutex mutex;
     std::map<K, std::shared_ptr<OnceSlot<V>>> entries;
     std::deque<K> order;
+    StatCounter &hitsStat;
+    StatCounter &missesStat;
+    StatCounter &evictionsStat;
 };
 
 } // namespace
@@ -97,7 +112,7 @@ makeCpu(const Workload &workload, const RunConfig &config)
     // same warm machine for every policy, so cache it by value and
     // hand out copies. Bounded: a long-lived process sweeping many
     // machine configurations must not hold every warm machine alive.
-    static WarmCache<MachineKey, SmtCpu> cache(64);
+    static WarmCache<MachineKey, SmtCpu> cache(64, "warm_cache.machine");
     MachineKey key{workload.name, config.seedSalt, config.warmupCycles,
                    config.machine};
     return cache.get(key, [&] {
@@ -188,7 +203,7 @@ soloIpc(const std::string &benchmark, const RunConfig &config,
 
         auto operator<=>(const SoloKey &) const = default;
     };
-    static WarmCache<SoloKey, double> cache(1024);
+    static WarmCache<SoloKey, double> cache(1024, "warm_cache.solo_ipc");
     SoloKey key{benchmark, cycles, config.seedSalt, config.warmupCycles,
                 config.machine};
     key.machine.numThreads = 1; // solo runs always use one context

@@ -188,6 +188,7 @@ SmtCpu::step()
     if (curCycle < stalledUntil) {
         // The machine is frozen (hill-climbing software cost), but
         // operations already in flight keep draining.
+        ++statCounters.stalledCycles;
         doCompletions();
         ++curCycle;
         return;

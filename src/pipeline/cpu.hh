@@ -50,6 +50,7 @@ struct CpuStats
     std::array<std::uint64_t, kMaxThreads> mispredicts{};
     std::array<std::uint64_t, kMaxThreads> loads{};
     std::array<std::uint64_t, kMaxThreads> partitionLockCycles{};
+    std::uint64_t stalledCycles = 0; ///< cycles frozen by stallUntil()
     std::uint64_t committedTotal() const;
 };
 

@@ -22,6 +22,8 @@
 namespace smthill
 {
 
+class EpochTracer;
+
 /** Abstract base for all resource-distribution mechanisms. */
 class ResourcePolicy
 {
@@ -46,6 +48,22 @@ class ResourcePolicy
 
     /** @return a deep copy (for synchronized comparison runs). */
     virtual std::unique_ptr<ResourcePolicy> clone() const = 0;
+
+    /**
+     * Attach an epoch-trace observer (nullptr detaches). Owned by
+     * the caller; zero-cost when absent. Policies that learn
+     * (HillClimbing and descendants) record one EpochTraceRecord per
+     * epoch() call; monitor-only policies record nothing. Clones
+     * share the pointer, so detach it from trial copies that must
+     * not pollute the committing run's trace.
+     */
+    void setEpochTracer(EpochTracer *t) { epochTracerPtr = t; }
+
+    /** @return the attached tracer, or nullptr. */
+    EpochTracer *epochTracer() const { return epochTracerPtr; }
+
+  protected:
+    EpochTracer *epochTracerPtr = nullptr;
 };
 
 } // namespace smthill

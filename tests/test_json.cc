@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Unit tests for the minimal JSON value type: writer/parser
+ * round-trips, escaping, number fidelity, and error reporting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/json.hh"
+
+namespace smthill
+{
+namespace
+{
+
+Json
+parseOk(const std::string &text)
+{
+    Json out;
+    std::string error;
+    EXPECT_TRUE(Json::parse(text, out, error)) << error;
+    return out;
+}
+
+TEST(Json, DefaultIsNull)
+{
+    Json j;
+    EXPECT_TRUE(j.isNull());
+    EXPECT_EQ(j.dump(), "null");
+}
+
+TEST(Json, ScalarsDump)
+{
+    EXPECT_EQ(Json(true).dump(), "true");
+    EXPECT_EQ(Json(false).dump(), "false");
+    EXPECT_EQ(Json(42).dump(), "42");
+    EXPECT_EQ(Json(-7).dump(), "-7");
+    EXPECT_EQ(Json("hi").dump(), "\"hi\"");
+}
+
+TEST(Json, IntegersSurviveExactly)
+{
+    // Counter values are uint64 but well below 2^53 in practice;
+    // anything that fits a double must round-trip digit-exact.
+    std::uint64_t big = 123456789012345ULL;
+    Json j(big);
+    EXPECT_EQ(j.dump(), "123456789012345");
+    Json back = parseOk(j.dump());
+    EXPECT_EQ(static_cast<std::uint64_t>(back.asInt()), big);
+}
+
+TEST(Json, DoublesRoundTripBitExact)
+{
+    for (double v : {0.1, 1.0 / 3.0, 2.5e-9, 1.7976931348623157e308,
+                     -0.0078125, 3.141592653589793}) {
+        Json back = parseOk(Json(v).dump());
+        EXPECT_EQ(back.asDouble(), v) << Json(v).dump();
+    }
+}
+
+TEST(Json, NonFiniteDumpsAsNull)
+{
+    EXPECT_EQ(Json(std::numeric_limits<double>::infinity()).dump(),
+              "null");
+    EXPECT_EQ(Json(std::nan("")).dump(), "null");
+}
+
+TEST(Json, StringEscapes)
+{
+    Json j(std::string("a\"b\\c\n\t\x01"));
+    std::string dumped = j.dump();
+    EXPECT_EQ(dumped, "\"a\\\"b\\\\c\\n\\t\\u0001\"");
+    EXPECT_EQ(parseOk(dumped).asString(), j.asString());
+}
+
+TEST(Json, ParsesUnicodeEscape)
+{
+    EXPECT_EQ(parseOk("\"\\u0041\\u00e9\"").asString(), "A\xc3\xa9");
+}
+
+TEST(Json, ObjectPreservesInsertionOrder)
+{
+    Json o = Json::object();
+    o.set("zebra", Json(1));
+    o.set("alpha", Json(2));
+    o.set("mid", Json(3));
+    EXPECT_EQ(o.dump(), "{\"zebra\":1,\"alpha\":2,\"mid\":3}");
+    EXPECT_EQ(o.members()[0].first, "zebra");
+    EXPECT_EQ(o.at("alpha").asInt(), 2);
+    EXPECT_TRUE(o.contains("mid"));
+    EXPECT_FALSE(o.contains("missing"));
+}
+
+TEST(Json, SetOverwritesInPlace)
+{
+    Json o = Json::object();
+    o.set("k", Json(1));
+    o.set("k", Json(2));
+    EXPECT_EQ(o.size(), 1u);
+    EXPECT_EQ(o.at("k").asInt(), 2);
+}
+
+TEST(Json, NestedRoundTrip)
+{
+    Json doc = Json::object();
+    doc.set("name", Json("trace"));
+    doc.set("ok", Json(true));
+    doc.set("none", Json());
+    Json arr = Json::array();
+    arr.push(Json(1));
+    arr.push(Json(2.5));
+    Json inner = Json::object();
+    inner.set("deep", Json("value"));
+    arr.push(std::move(inner));
+    doc.set("items", std::move(arr));
+
+    for (int indent : {0, 2}) {
+        Json back = parseOk(doc.dump(indent));
+        EXPECT_TRUE(back == doc) << doc.dump(indent);
+    }
+}
+
+TEST(Json, ParseRejectsGarbage)
+{
+    Json out;
+    std::string error;
+    EXPECT_FALSE(Json::parse("", out, error));
+    EXPECT_FALSE(Json::parse("{", out, error));
+    EXPECT_FALSE(Json::parse("[1,]", out, error));
+    EXPECT_FALSE(Json::parse("\"unterminated", out, error));
+    EXPECT_FALSE(Json::parse("tru", out, error));
+    EXPECT_FALSE(Json::parse("1 2", out, error))
+        << "trailing data must be rejected";
+    EXPECT_FALSE(Json::parse("{'single': 1}", out, error))
+        << "no extensions: single quotes are not JSON";
+    EXPECT_FALSE(error.empty());
+}
+
+TEST(Json, ParseAcceptsWhitespace)
+{
+    Json back = parseOk("  {\n\t\"a\" : [ 1 , 2 ] }\n");
+    EXPECT_EQ(back.at("a").items()[1].asInt(), 2);
+}
+
+TEST(Json, EqualityComparesStructurally)
+{
+    EXPECT_TRUE(parseOk("{\"a\":1,\"b\":[true,null]}") ==
+                parseOk("{ \"a\": 1, \"b\": [ true, null ] }"));
+    EXPECT_FALSE(parseOk("{\"a\":1}") == parseOk("{\"a\":2}"));
+    EXPECT_FALSE(parseOk("[1]") == parseOk("[1,1]"));
+}
+
+TEST(Json, JsonEscapeHelper)
+{
+    EXPECT_EQ(jsonEscape("plain"), "plain");
+    EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");
+}
+
+} // namespace
+} // namespace smthill

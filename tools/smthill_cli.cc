@@ -18,15 +18,37 @@
  * grid of independent cells across `jobs` worker threads (default:
  * all hardware threads) and print one summary table:
  *   smthill_cli workload=art-mcf,swim-twolf policy=icount,dcra jobs=8
+ *
+ * Machine-readable export:
+ *   stats_json=FILE   (or --stats-json=FILE) writes a
+ *     `smthill.stats.v1` document: {"schema", "run" (workload,
+ *     policy, epochs, epoch_size, warmup_cycles, seed, solo_epochs),
+ *     "metrics" (weighted_ipc, avg_ipc, harmonic_weighted_ipc),
+ *     "report" (a `smthill.report.v1` object), "counters" (the
+ *     process-wide StatRegistry dump)}. Grid runs replace "run" /
+ *     "metrics" / "report" with "grid" + a "cells" array holding the
+ *     same three metrics per workload x policy cell.
+ *   epoch_trace=FILE  (or --epoch-trace=FILE) writes the per-epoch
+ *     `smthill.epoch-trace.v1` trace (see core/epoch_trace.hh); a
+ *     path ending in ".csv" writes the flat CSV form instead. Hill
+ *     policies record their internal state (anchor/trial partitions,
+ *     round perf, SingleIPC estimates); other policies get a generic
+ *     trace synthesized from the per-epoch IPC series.
+ * GNU-style spellings are accepted: "--stats-json=x" is normalized
+ * to "stats_json=x" (dashes only rewritten in the key, not values).
  */
 
 #include <cstdio>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/json.hh"
 #include "common/log.hh"
 #include "common/options.hh"
+#include "common/stat_registry.hh"
+#include "core/epoch_trace.hh"
 #include "core/hill_climbing.hh"
 #include "harness/report.hh"
 #include "harness/runner.hh"
@@ -90,6 +112,56 @@ const char *kPolicyNames =
     "icount stall flush stall-flush dg pdg dcra static hill-ipc "
     "hill-wipc hill-hwipc phase-hill";
 
+/** @return the feedback metric a policy name implies (WIPC default). */
+PerfMetric
+policyMetric(const std::string &name)
+{
+    if (name == "hill-ipc")
+        return PerfMetric::AvgIpc;
+    if (name == "hill-hwipc")
+        return PerfMetric::HarmonicWeightedIpc;
+    return PerfMetric::WeightedIpc;
+}
+
+/**
+ * Accept GNU-style spellings: "--stats-json=x" normalizes to
+ * "stats_json=x". Only the key (before '=') is rewritten, so values
+ * keep their dashes (workload=art-mcf).
+ */
+std::string
+normalizeArg(const std::string &arg)
+{
+    std::string s = arg;
+    if (s.rfind("--", 0) == 0)
+        s = s.substr(2);
+    std::size_t key_end = s.find('=');
+    if (key_end == std::string::npos)
+        key_end = s.size();
+    for (std::size_t i = 0; i < key_end; ++i)
+        if (s[i] == '-')
+            s[i] = '_';
+    return s;
+}
+
+/** Write @p content to @p path, fataling on I/O failure. */
+void
+writeTextFile(const std::string &path, const std::string &content)
+{
+    std::ofstream out(path, std::ios::binary);
+    out << content;
+    if (!out)
+        fatal(msg("cannot write '", path, "'"));
+}
+
+/** Shared metadata + counters skeleton of a smthill.stats.v1 doc. */
+Json
+statsDocument()
+{
+    Json root = Json::object();
+    root.set("schema", Json("smthill.stats.v1"));
+    return root;
+}
+
 /** Split a comma-separated list; empty pieces are dropped. */
 std::vector<std::string>
 splitList(const std::string &s)
@@ -114,7 +186,8 @@ splitList(const std::string &s)
 int
 runCliGrid(const std::vector<std::string> &workload_names,
            const std::vector<std::string> &policy_names,
-           const RunConfig &rc, std::uint64_t solo_epochs)
+           const RunConfig &rc, std::uint64_t solo_epochs,
+           const std::string &stats_json)
 {
     struct Cell
     {
@@ -159,6 +232,30 @@ runCliGrid(const std::vector<std::string> &workload_names,
         t.cell(results[i].hwipc);
     }
     t.print();
+
+    if (!stats_json.empty()) {
+        Json root = statsDocument();
+        Json grid = Json::object();
+        grid.set("epochs", Json(rc.epochs));
+        grid.set("epoch_size", Json(rc.epochSize));
+        grid.set("jobs", Json(rc.jobs));
+        root.set("grid", std::move(grid));
+        Json cells_arr = Json::array();
+        for (std::size_t i = 0; i < cells; ++i) {
+            Json c = Json::object();
+            c.set("workload",
+                  Json(workload_names[i / policy_names.size()]));
+            c.set("policy",
+                  Json(policy_names[i % policy_names.size()]));
+            c.set("weighted_ipc", Json(results[i].wipc));
+            c.set("avg_ipc", Json(results[i].ipc));
+            c.set("harmonic_weighted_ipc", Json(results[i].hwipc));
+            cells_arr.push(std::move(c));
+        }
+        root.set("cells", std::move(cells_arr));
+        root.set("counters", globalStats().toJson());
+        writeTextFile(stats_json, root.dump(2) + "\n");
+    }
     return 0;
 }
 
@@ -174,6 +271,8 @@ main(int argc, char **argv)
     bool csv = false;
     std::int64_t trace_events = 0;
     std::uint64_t solo_epochs = 16;
+    std::string stats_json;
+    std::string epoch_trace;
 
     OptionSet opts;
     opts.addString("workload", &workload_name,
@@ -188,6 +287,11 @@ main(int argc, char **argv)
     opts.addUint("solo_epochs", &solo_epochs,
                  "epochs of solo run per thread (weighted metrics)");
     opts.addBool("csv", &csv, "print per-epoch CSV instead of tables");
+    opts.addString("stats_json", &stats_json,
+                   "write a smthill.stats.v1 JSON document here");
+    opts.addString("epoch_trace", &epoch_trace,
+                   "write the smthill.epoch-trace.v1 per-epoch trace "
+                   "here (.csv extension selects CSV)");
     opts.addInt("trace", &trace_events,
                 "dump the last N pipeline events after the run");
     opts.addInt32("jobs", &rc.jobs,
@@ -214,8 +318,11 @@ main(int argc, char **argv)
     opts.addUint("l2_latency", &rc.machine.mem.l2Latency,
                  "L2 hit latency");
 
-    std::vector<std::string> args(argv + 1, argv + argc);
-    if (!args.empty() && (args[0] == "help" || args[0] == "--help")) {
+    std::vector<std::string> args;
+    args.reserve(static_cast<std::size_t>(argc - 1));
+    for (int i = 1; i < argc; ++i)
+        args.push_back(normalizeArg(argv[i]));
+    if (!args.empty() && args[0] == "help") {
         std::printf("usage: %s [key=value ...]\n\noptions:\n", argv[0]);
         opts.printHelp();
         std::printf("\nworkloads:\n ");
@@ -240,11 +347,11 @@ main(int argc, char **argv)
     if (workload_names.empty() || policy_names.empty())
         fatal("workload/policy lists must not be empty");
     if (workload_names.size() > 1 || policy_names.size() > 1) {
-        if (csv || trace_events > 0)
-            fatal("csv/trace are single-run features; drop them or "
-                  "run one workload x policy cell");
+        if (csv || trace_events > 0 || !epoch_trace.empty())
+            fatal("csv/trace/epoch_trace are single-run features; "
+                  "drop them or run one workload x policy cell");
         return runCliGrid(workload_names, policy_names, rc,
-                          solo_epochs);
+                          solo_epochs, stats_json);
     }
 
     const Workload &workload = workloadByName(workload_name);
@@ -262,8 +369,68 @@ main(int argc, char **argv)
     if (trace_events > 0)
         cpu.setTracer(&tracer);
 
+    // Learning policies record their epoch-by-epoch state into the
+    // tracer; non-learning policies leave it empty and a generic
+    // trace is synthesized from the runner's per-epoch records below.
+    EpochTracer epoch_tracer;
+    if (!epoch_trace.empty())
+        policy->setEpochTracer(&epoch_tracer);
+
     RunResult res =
         runPolicyOn(std::move(cpu), *policy, rc.epochs, rc.epochSize);
+
+    PerfMetric metric = policyMetric(policy_name);
+    if (!epoch_trace.empty()) {
+        if (epoch_tracer.empty()) {
+            for (std::size_t e = 0; e < res.epochs.size(); ++e) {
+                const EpochRecord &er = res.epochs[e];
+                EpochTraceRecord r;
+                r.epochId = e;
+                r.cycle = res.startSnapshot.cycle +
+                          (static_cast<Cycle>(e) + 1) * rc.epochSize;
+                r.elapsedCycles = rc.epochSize;
+                r.numThreads = workload.numThreads();
+                r.ipc = er.ipc.ipc;
+                r.metricValue = evalMetric(metric, er.ipc, solo);
+                r.partitioned = er.partitioned;
+                r.trial = er.partition;
+                r.anchor = er.partition;
+                epoch_tracer.record(std::move(r));
+            }
+        }
+        bool as_csv = epoch_trace.size() >= 4 &&
+                      epoch_trace.compare(epoch_trace.size() - 4, 4,
+                                          ".csv") == 0;
+        writeTextFile(epoch_trace,
+                      as_csv ? epoch_tracer.toCsv()
+                             : epoch_tracer.toJson(metric).dump(2) +
+                                   "\n");
+    }
+
+    if (!stats_json.empty()) {
+        Json root = statsDocument();
+        Json run = Json::object();
+        run.set("workload", Json(workload.name));
+        run.set("policy", Json(policy_name));
+        run.set("epochs", Json(rc.epochs));
+        run.set("epoch_size", Json(rc.epochSize));
+        run.set("warmup_cycles", Json(rc.warmupCycles));
+        run.set("seed", Json(rc.seedSalt));
+        run.set("solo_epochs", Json(solo_epochs));
+        root.set("run", std::move(run));
+        Json metrics = Json::object();
+        metrics.set("weighted_ipc",
+                    Json(res.metric(PerfMetric::WeightedIpc, solo)));
+        metrics.set("avg_ipc",
+                    Json(res.metric(PerfMetric::AvgIpc, solo)));
+        metrics.set("harmonic_weighted_ipc",
+                    Json(res.metric(PerfMetric::HarmonicWeightedIpc,
+                                    solo)));
+        root.set("metrics", std::move(metrics));
+        root.set("report", res.report(workload.benchmarks).toJson());
+        root.set("counters", globalStats().toJson());
+        writeTextFile(stats_json, root.dump(2) + "\n");
+    }
 
     if (csv) {
         std::printf("epoch");
