@@ -54,6 +54,9 @@ struct EpochTraceRecord
     int samplingThread = -1;      ///< thread that ran solo, or -1
     bool anchorMoved = false;     ///< a round ended at this boundary
     Cycle softwareCost = 0;       ///< stall charged at the boundary
+
+    /** Field-wise equality (round-trip tests). */
+    bool operator==(const EpochTraceRecord &) const = default;
 };
 
 /** Accumulates records and exports them as JSON or CSV. */

@@ -145,7 +145,11 @@ HillClimbing::traceEpoch(const SmtCpu &cpu, std::uint64_t epoch_id,
         rec.ipc[i] = sample.ipc[i];
     rec.metricValue = metric_value;
     rec.partitioned = was_partitioned;
-    rec.trial = trial;
+    // Only a partitioned epoch has a meaningful trial; recording the
+    // stale partition of an unpartitioned (solo-sampling) epoch made
+    // in-memory records differ from their JSON export, which encodes
+    // the trial of such epochs as null.
+    rec.trial = was_partitioned ? trial : Partition{};
     rec.anchor = anchorPartition;
     rec.roundPerf = roundPerf;
     rec.singleIpcEst = singleIpcEst;

@@ -32,6 +32,14 @@ shiftToward(const Partition &anchor, int favored, int delta,
 {
     Partition p = anchor;
     int nt = p.numThreads;
+    // An out-of-range favored thread would silently inflate the
+    // total: every in-range thread donates, and the gained units
+    // land in a share slot no thread owns (or out of bounds).
+    if (favored < 0 || favored >= nt)
+        fatal(msg("partition shift favors thread ", favored, " of ",
+                  nt));
+    if (delta < 0)
+        fatal(msg("partition shift with negative delta ", delta));
     int gained = 0;
     for (int i = 0; i < nt; ++i) {
         if (i == favored)

@@ -45,7 +45,11 @@ MarkovPhasePredictor::observe(int phase_id)
             curPhase = phase_id;
             runLength = 1;
         } else {
-            ++runLength;
+            // Saturate at the 16-bit tag range: letting the run
+            // length grow past it would alias distinct (phase, run)
+            // states onto each other's table entries.
+            if (runLength < 0xffff)
+                ++runLength;
         }
     } else {
         curPhase = phase_id;
@@ -58,7 +62,7 @@ int
 MarkovPhasePredictor::predict() const
 {
     if (curPhase < 0)
-        return 0;
+        return -1; // no observation yet: don't fabricate phase 0
     const Entry &e = table[indexOf(curPhase, runLength)];
     if (e.tag == tagOf(curPhase, runLength) && e.next >= 0)
         return e.next;

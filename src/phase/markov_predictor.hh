@@ -29,9 +29,11 @@ class MarkovPhasePredictor
     void observe(int phase_id);
 
     /**
-     * @return the predicted phase of the next epoch. Falls back to
-     * "same phase again" (last-value prediction) when the table has
-     * no history for the current (phase, run-length) state.
+     * @return the predicted phase of the next epoch, or -1 before
+     * the first observation (the cold predictor must not fabricate
+     * phase 0). Falls back to "same phase again" (last-value
+     * prediction) when the table has no history for the current
+     * (phase, run-length) state.
      */
     int predict() const;
 

@@ -42,7 +42,12 @@ PhaseHillClimbing::epoch(SmtCpu &cpu, std::uint64_t epoch_id)
     bool was_sampling = samplingActive();
     BbvSignature sig = bbv.harvest();
     if (!was_sampling && !sig.weights.empty()) {
-        currentPhase = table.classify(sig);
+        bool recycled = false;
+        currentPhase = table.classify(sig, &recycled);
+        // A recycled ID names a brand-new phase; the partitioning
+        // stored under it belongs to the evicted one.
+        if (recycled)
+            learned.erase(currentPhase);
         predictor.observe(currentPhase);
     }
     HillClimbing::epoch(cpu, epoch_id);
@@ -61,7 +66,7 @@ PhaseHillClimbing::overrideAnchor(SmtCpu &, Partition next)
     // next epoch, jump straight to its partitioning instead of
     // climbing toward it from here.
     int predicted = predictor.predict();
-    if (predicted != currentPhase) {
+    if (predicted >= 0 && predicted != currentPhase) {
         auto it = learned.find(predicted);
         if (it != learned.end()) {
             ++reuseCount;

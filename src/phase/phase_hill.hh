@@ -43,6 +43,15 @@ class PhaseHillClimbing : public HillClimbing
     /** @return how many epochs reused a stored partitioning. */
     std::uint64_t reuses() const { return reuseCount; }
 
+    /**
+     * @return the phase -> best-anchor map. Bounded by the phase
+     * table's capacity: recycled phase IDs drop their stale entry.
+     */
+    const std::map<int, Partition> &learnedPartitions() const
+    {
+        return learned;
+    }
+
   protected:
     Partition overrideAnchor(SmtCpu &cpu, Partition next) override;
 

@@ -13,8 +13,10 @@ PhaseTable::PhaseTable(int max_phases, double threshold)
 }
 
 int
-PhaseTable::classify(const BbvSignature &signature)
+PhaseTable::classify(const BbvSignature &signature, bool *recycled)
 {
+    if (recycled)
+        *recycled = false;
     ++useClock;
 
     Entry *best = nullptr;
@@ -47,14 +49,17 @@ PhaseTable::classify(const BbvSignature &signature)
         return entries.back().id;
     }
 
-    // Recycle the least recently used phase.
+    // Recycle the least recently used phase. The entry keeps its ID
+    // (IDs stay bounded by the capacity instead of growing without
+    // limit); the ID simply names the new phase from here on.
     std::size_t victim = 0;
     for (std::size_t i = 1; i < entries.size(); ++i)
         if (entries[i].lastUse < entries[victim].lastUse)
             victim = i;
     entries[victim].centroid = signature;
     entries[victim].lastUse = useClock;
-    entries[victim].id = nextId++;
+    if (recycled)
+        *recycled = true;
     return entries[victim].id;
 }
 

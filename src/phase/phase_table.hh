@@ -33,8 +33,16 @@ class PhaseTable
      * Classify a signature: @return the ID of the matching phase,
      * creating (or recycling) an entry when nothing is close enough.
      * The matched centroid drifts toward the new signature.
+     *
+     * IDs are bounded by the table capacity: a recycled entry keeps
+     * its ID, which from then on names the new phase. Consumers that
+     * key state by phase ID (learned partitions, predictors) must
+     * invalidate it when @p recycled reports the reassignment.
+     *
+     * @param[out] recycled if non-null, set to true when the
+     *             returned ID was just recycled from an evicted phase
      */
-    int classify(const BbvSignature &signature);
+    int classify(const BbvSignature &signature, bool *recycled = nullptr);
 
     /** @return number of distinct phases currently stored. */
     int size() const { return static_cast<int>(entries.size()); }

@@ -118,6 +118,12 @@ SmtCpu::setPartition(const Partition &partition)
 {
     if (partition.numThreads != cfg.numThreads)
         fatal("setPartition: thread-count mismatch");
+    for (int i = 0; i < partition.numThreads; ++i) {
+        if (partition.share[i] < 0)
+            fatal(msg("setPartition: thread ", i, " share ",
+                      partition.share[i], " is negative (",
+                      partition.str(), ")"));
+    }
     if (partition.total() > cfg.intRegs)
         fatal(msg("setPartition: shares sum to ", partition.total(),
                   " > ", cfg.intRegs, " registers"));

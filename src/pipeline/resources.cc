@@ -36,15 +36,23 @@ Partition::total() const
 void
 Partition::clampMin(int min_share)
 {
+    if (numThreads < 1)
+        return;
+    // An infeasible floor (min_share * numThreads > total) degrades
+    // to the best feasible one; otherwise redistribution can halt
+    // half-done, leaving some shares raised and others still below
+    // every floor. Callers may rely on every share reaching
+    // min(min_share, total / numThreads).
+    int floor_share = std::min(min_share, total() / numThreads);
     for (int i = 0; i < numThreads; ++i) {
-        while (share[i] < min_share) {
+        while (share[i] < floor_share) {
             // Take one unit from the currently largest share.
             int richest = 0;
             for (int j = 1; j < numThreads; ++j)
                 if (share[j] > share[richest])
                     richest = j;
-            if (share[richest] <= min_share)
-                return; // nothing left to redistribute
+            if (share[richest] <= floor_share)
+                return; // unreachable once the floor is feasible
             ++share[i];
             --share[richest];
         }

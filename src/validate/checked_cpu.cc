@@ -1,0 +1,45 @@
+#include "validate/checked_cpu.hh"
+
+namespace smthill
+{
+
+CheckedCpu::CheckedCpu(SmtCpu cpu, InvariantChecker::Options options,
+                       Cycle check_interval)
+    : machine(std::move(cpu)), chk(options), interval(check_interval)
+{
+    prevOcc = machine.occupancy();
+}
+
+void
+CheckedCpu::checkNow()
+{
+    chk.checkCpu(machine);
+    if (machine.partitioningEnabled()) {
+        DerivedLimits limits =
+            deriveLimits(machine.partition(), machine.config());
+        chk.checkOccupancyTransient(machine.occupancy(), prevOcc, limits,
+                                    machine.numThreads());
+    }
+    prevOcc = machine.occupancy();
+}
+
+void
+CheckedCpu::step()
+{
+    machine.step();
+    if (interval == 0)
+        return;
+    if (++sinceCheck >= interval) {
+        sinceCheck = 0;
+        checkNow();
+    }
+}
+
+void
+CheckedCpu::run(Cycle n)
+{
+    for (Cycle i = 0; i < n; ++i)
+        step();
+}
+
+} // namespace smthill

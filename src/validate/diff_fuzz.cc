@@ -1,0 +1,672 @@
+#include "validate/diff_fuzz.hh"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "common/log.hh"
+#include "common/rng.hh"
+#include "core/offline_exhaustive.hh"
+#include "core/partitioning.hh"
+#include "harness/report.hh"
+#include "harness/runner.hh"
+#include "phase/markov_predictor.hh"
+#include "phase/phase_hill.hh"
+#include "phase/phase_table.hh"
+#include "policy/dcra.hh"
+#include "policy/flush.hh"
+#include "validate/checked_cpu.hh"
+
+namespace smthill
+{
+
+namespace
+{
+
+const char *
+policyName(int choice)
+{
+    switch (choice & 3) {
+      case 0: return "HILL";
+      case 1: return "PHASE-HILL";
+      case 2: return "DCRA";
+      default: return "FLUSH";
+    }
+}
+
+void
+finding(FuzzResult &r, const char *stage, const char *check,
+        std::string detail)
+{
+    r.findings.push_back(
+        FuzzFinding{stage, check, std::move(detail)});
+}
+
+/** Move accumulated invariant violations into @p r under @p stage. */
+void
+drainChecker(FuzzResult &r, const char *stage, InvariantChecker &chk)
+{
+    for (const InvariantViolation &v : chk.violations())
+        finding(r, stage, v.check.c_str(), v.detail);
+    if (chk.totalViolations() > chk.violations().size()) {
+        finding(r, stage, "overflow",
+                msg(chk.totalViolations() - chk.violations().size(),
+                    " further violations not recorded"));
+    }
+    chk.clear();
+}
+
+/** Random non-negative shares summing exactly to @p total. */
+Partition
+randomPartition(Rng &rng, int threads, int total)
+{
+    Partition p;
+    p.numThreads = threads;
+    int remaining = total;
+    for (int i = 0; i < threads - 1; ++i) {
+        int s = static_cast<int>(
+            rng.nextBelow(static_cast<std::uint64_t>(remaining) + 1));
+        p.share[i] = s;
+        remaining -= s;
+    }
+    p.share[threads - 1] = remaining;
+    return p;
+}
+
+/** Build and warm the case's machine on its Table 2 workload. */
+SmtCpu
+buildFuzzCpu(const FuzzCase &c)
+{
+    SmtCpu cpu(c.machine, c.workload.makeGenerators(c.seed));
+    cpu.run(c.warmup);
+    return cpu;
+}
+
+std::unique_ptr<ResourcePolicy>
+makePolicy(const FuzzCase &c, HillClimbing **hill_out)
+{
+    *hill_out = nullptr;
+    switch (c.policyChoice & 3) {
+      case 0: {
+        auto p = std::make_unique<HillClimbing>(c.hill);
+        *hill_out = p.get();
+        return p;
+      }
+      case 1: {
+        auto p = std::make_unique<PhaseHillClimbing>(c.hill);
+        *hill_out = p.get();
+        return p;
+      }
+      case 2:
+        return std::make_unique<DcraPolicy>();
+      default:
+        return std::make_unique<FlushPolicy>();
+    }
+}
+
+// --- Stage A: partition algebra properties -------------------------
+
+void
+stagePartitionAlgebra(const FuzzCase &c, FuzzResult &r)
+{
+    static const char *kStage = "A.partition-algebra";
+    Rng rng(c.seed ^ 0xA11AA11Au);
+
+    for (int iter = 0; iter < 24; ++iter) {
+        int nt = 2 + static_cast<int>(rng.nextBelow(kMaxThreads - 1));
+        int total = nt + static_cast<int>(rng.nextBelow(257));
+        Partition p = randomPartition(rng, nt, total);
+
+        // clampMin conserves the total and, even when the requested
+        // floor is infeasible, leaves every share at the best
+        // feasible floor min(min_share, total / nt).
+        int min_share = static_cast<int>(
+            rng.nextBelow(static_cast<std::uint64_t>(total / nt) * 2 + 3));
+        Partition q = p;
+        q.clampMin(min_share);
+        if (q.total() != total) {
+            finding(r, kStage, "clamp_min.conservation",
+                    msg("clampMin(", min_share, ") changed total ", total,
+                        " -> ", q.total(), " (", p.str(), " -> ", q.str(),
+                        ")"));
+        }
+        int floor_eff = std::min(min_share, total / nt);
+        for (int i = 0; i < nt; ++i) {
+            if (q.share[i] < floor_eff) {
+                finding(r, kStage, "clamp_min.floor",
+                        msg("clampMin(", min_share, ") left thread ", i,
+                            " at ", q.share[i], ", feasible floor ",
+                            floor_eff, " (", p.str(), " -> ", q.str(),
+                            ")"));
+            }
+        }
+
+        // trialPartition / moveAnchor conserve the total, never take
+        // the favored thread down, and never push a donor below
+        // min(its share, min_share) — including delta > anchor share.
+        int favored = static_cast<int>(rng.nextBelow(nt));
+        int delta = static_cast<int>(rng.nextBelow(65));
+        int ms = static_cast<int>(rng.nextBelow(33));
+        for (int which = 0; which < 2; ++which) {
+            Partition t = which == 0
+                              ? trialPartition(p, favored, delta, ms)
+                              : moveAnchor(p, favored, delta, ms);
+            const char *fn = which == 0 ? "trial" : "move_anchor";
+            if (t.total() != total) {
+                finding(r, kStage, msg(fn, ".conservation").c_str(),
+                        msg(fn, "(favored=", favored, ", delta=", delta,
+                            ", min=", ms, ") changed total ", total,
+                            " -> ", t.total(), " (", p.str(), " -> ",
+                            t.str(), ")"));
+            }
+            if (t.share[favored] < p.share[favored]) {
+                finding(r, kStage, "favored_decreased",
+                        msg(fn, " dropped favored thread ", favored,
+                            " from ", p.share[favored], " to ",
+                            t.share[favored]));
+            }
+            for (int i = 0; i < nt; ++i) {
+                if (i == favored)
+                    continue;
+                int floor_i = std::min(p.share[i], ms);
+                if (t.share[i] < floor_i) {
+                    finding(r, kStage, "donor_below_floor",
+                            msg(fn, " pushed thread ", i, " to ",
+                                t.share[i], ", floor ", floor_i, " (",
+                                p.str(), " -> ", t.str(), ")"));
+                }
+            }
+        }
+
+        // enumeratePartitions2: exactly floor(total/stride) - 1
+        // trials, every share >= stride, every trial conserves the
+        // total — including odd totals and stride near total / 2.
+        int stride = 1 + static_cast<int>(rng.nextBelow(32));
+        int tot2 = 2 * stride + static_cast<int>(rng.nextBelow(260));
+        std::vector<Partition> trials = enumeratePartitions2(tot2, stride);
+        int expected = tot2 / stride - 1;
+        if (static_cast<int>(trials.size()) != expected) {
+            finding(r, kStage, "enumerate2.count",
+                    msg("enumeratePartitions2(", tot2, ", ", stride,
+                        ") gave ", trials.size(), " trials, expected ",
+                        expected));
+        }
+        for (std::size_t k = 0; k < trials.size(); ++k) {
+            const Partition &t = trials[k];
+            if (t.numThreads != 2 || t.total() != tot2 ||
+                t.share[0] < stride || t.share[1] < stride ||
+                t.share[0] != stride * static_cast<int>(k + 1)) {
+                finding(r, kStage, "enumerate2.shape",
+                        msg("enumeratePartitions2(", tot2, ", ", stride,
+                            ") trial ", k, " is ", t.str()));
+                break;
+            }
+        }
+    }
+
+    // The paper's configuration must always give exactly 127 trials.
+    std::size_t paper = enumeratePartitions2(256, 2).size();
+    if (paper != 127) {
+        finding(r, kStage, "enumerate2.paper",
+                msg("256/2 enumeration gave ", paper,
+                    " trials, the paper's sweep has 127"));
+    }
+}
+
+// --- Stage B: phase machinery properties ---------------------------
+
+void
+stagePhaseMachinery(const FuzzCase &c, FuzzResult &r)
+{
+    static const char *kStage = "B.phase-machinery";
+    Rng rng(c.seed ^ 0xB22BB22Bu);
+
+    // Phase IDs must stay bounded by the table capacity no matter
+    // how many distinct signatures stream past (LRU recycling must
+    // reuse IDs, or a long run grows the phase->partition maps of
+    // every consumer without limit).
+    int cap = 4 + static_cast<int>(rng.nextBelow(9));
+    PhaseTable table(cap, 0.05);
+    for (int s = 0; s < cap * 4; ++s) {
+        BbvSignature sig;
+        sig.weights.assign(kBbvEntries, 0.0);
+        sig.weights[rng.nextBelow(kBbvEntries)] = 1.0;
+        int id = table.classify(sig);
+        if (id < 0 || id >= cap) {
+            finding(r, kStage, "phase_table.id_bound",
+                    msg("classification ", s, " returned phase id ", id,
+                        ", table capacity ", cap));
+            break;
+        }
+        if (table.size() > cap) {
+            finding(r, kStage, "phase_table.size_bound",
+                    msg("table holds ", table.size(), " phases, capacity ",
+                        cap));
+            break;
+        }
+    }
+
+    // Before any observation the Markov predictor has no current
+    // phase and must answer "don't know" (-1), not fabricate id 0.
+    MarkovPhasePredictor cold(64);
+    int first = cold.predict();
+    if (first != -1) {
+        finding(r, kStage, "markov.cold_start",
+                msg("predictor with no history predicted phase ", first,
+                    " instead of -1"));
+    }
+}
+
+// --- Stage C: invariant-checked policy run + JSON round trips ------
+
+void
+stageCheckedRun(const FuzzCase &c, FuzzResult &r, const SmtCpu &warm)
+{
+    static const char *kStage = "C.invariants";
+
+    HillClimbing *hill = nullptr;
+    std::unique_ptr<ResourcePolicy> policy = makePolicy(c, &hill);
+    EpochTracer tracer;
+    if (hill != nullptr)
+        policy->setEpochTracer(&tracer);
+
+    InvariantChecker::Options opts;
+    opts.strictPartitionTotal = true; // every in-repo policy conserves
+    CheckedCpu checked(warm, opts, 1);
+    MachineSnapshot before = MachineSnapshot::capture(checked.cpu());
+
+    policy->attach(checked.cpu());
+    checked.checkNow();
+    for (int e = 0; e < c.epochs; ++e) {
+        for (Cycle t = 0; t < c.hill.epochSize; ++t) {
+            policy->cycle(checked.cpu());
+            checked.step();
+        }
+        policy->epoch(checked.cpu(),
+                      static_cast<std::uint64_t>(e));
+        checked.checkNow();
+    }
+    if (hill != nullptr)
+        checked.checker().checkEpochTrace(*hill, tracer);
+    drainChecker(r, kStage, checked.checker());
+
+    // MachineReport JSON round trip.
+    MachineSnapshot after = MachineSnapshot::capture(checked.cpu());
+    MachineReport rep =
+        buildReport(before, after, c.workload.benchmarks);
+    std::string text = rep.toJson().dump();
+    Json parsed;
+    std::string err;
+    if (!Json::parse(text, parsed, err)) {
+        finding(r, "C.json", "report.parse", err);
+    } else {
+        MachineReport back;
+        if (!machineReportFromJson(parsed, back, err)) {
+            finding(r, "C.json", "report.import", err);
+        } else if (!(back == rep)) {
+            finding(r, "C.json", "report.round_trip",
+                    "report changed across toJson/fromJson");
+        }
+    }
+
+    // Epoch-trace JSON round trip.
+    if (hill != nullptr && !tracer.empty()) {
+        std::string ttext = tracer.toJson(c.hill.metric).dump();
+        Json tparsed;
+        if (!Json::parse(ttext, tparsed, err)) {
+            finding(r, "C.json", "trace.parse", err);
+        } else {
+            std::vector<EpochTraceRecord> recs;
+            if (!EpochTracer::fromJson(tparsed, recs, err)) {
+                finding(r, "C.json", "trace.import", err);
+            } else if (!(recs == tracer.records())) {
+                finding(r, "C.json", "trace.round_trip",
+                        msg("trace changed across toJson/fromJson (",
+                            recs.size(), " vs ", tracer.size(),
+                            " records)"));
+            }
+        }
+    }
+}
+
+/** Field-wise comparison of two runs that must be bit-identical. */
+void
+compareRuns(FuzzResult &r, const char *stage, const char *what,
+            const RunResult &a, const RunResult &b, int threads)
+{
+    if (a.finalSnapshot.cycle != b.finalSnapshot.cycle) {
+        finding(r, stage, "cycle_divergence",
+                msg(what, ": final cycles ", a.finalSnapshot.cycle,
+                    " vs ", b.finalSnapshot.cycle));
+    }
+    for (int i = 0; i < threads; ++i) {
+        if (a.stats.committed[i] != b.stats.committed[i] ||
+            a.stats.fetched[i] != b.stats.fetched[i] ||
+            a.stats.flushed[i] != b.stats.flushed[i] ||
+            a.stats.mispredicts[i] != b.stats.mispredicts[i]) {
+            finding(r, stage, "counter_divergence",
+                    msg(what, ": thread ", i, " counters diverge "
+                        "(committed ", a.stats.committed[i], " vs ",
+                        b.stats.committed[i], ", fetched ",
+                        a.stats.fetched[i], " vs ", b.stats.fetched[i],
+                        ")"));
+        }
+        if (a.overallIpc.ipc[i] != b.overallIpc.ipc[i]) {
+            finding(r, stage, "ipc_divergence",
+                    msg(what, ": thread ", i, " IPC ",
+                        a.overallIpc.ipc[i], " vs ",
+                        b.overallIpc.ipc[i]));
+        }
+    }
+}
+
+// --- Stage D: checkpoint-copy determinism --------------------------
+
+void
+stageCopyDeterminism(const FuzzCase &c, FuzzResult &r,
+                     const SmtCpu &warm)
+{
+    static const char *kStage = "D.copy-determinism";
+
+    HillClimbing *ignored = nullptr;
+    std::unique_ptr<ResourcePolicy> p1 = makePolicy(c, &ignored);
+    std::unique_ptr<ResourcePolicy> p2 = p1->clone();
+
+    RunResult r1 =
+        runPolicyOn(warm, *p1, c.epochs, c.hill.epochSize);
+    RunResult r2 =
+        runPolicyOn(warm, *p2, c.epochs, c.hill.epochSize);
+    compareRuns(r, kStage, policyName(c.policyChoice), r1, r2,
+                c.machine.numThreads);
+}
+
+// --- Stage E: offline serial vs parallel sweep ---------------------
+
+void
+stageOfflineJobs(const FuzzCase &c, FuzzResult &r, const SmtCpu &warm)
+{
+    static const char *kStage = "E.offline-jobs";
+    if (c.machine.numThreads != 2)
+        return; // the exhaustive learner is 2-context only
+
+    OfflineConfig oc;
+    oc.epochSize = c.hill.epochSize;
+    oc.stride = c.offlineStride;
+    oc.metric = c.hill.metric;
+    oc.singleIpc.fill(1.0);
+    oc.keepCurves = true;
+
+    oc.jobs = 1;
+    OfflineExhaustive serial(oc);
+    oc.jobs = 3;
+    OfflineExhaustive parallel(oc);
+
+    SmtCpu a = warm;
+    SmtCpu b = warm;
+    for (int e = 0; e < 2; ++e) {
+        OfflineEpoch ea = serial.stepEpoch(a);
+        OfflineEpoch eb = parallel.stepEpoch(b);
+        if (!(ea.best == eb.best)) {
+            finding(r, kStage, "best_partition",
+                    msg("epoch ", e, ": 1-job best ", ea.best.str(),
+                        " vs 3-job best ", eb.best.str()));
+        }
+        if (ea.metricValue != eb.metricValue) {
+            finding(r, kStage, "metric_value",
+                    msg("epoch ", e, ": 1-job metric ", ea.metricValue,
+                        " vs 3-job ", eb.metricValue));
+        }
+        if (ea.curve != eb.curve || ea.curveShares != eb.curveShares) {
+            finding(r, kStage, "trial_curve",
+                    msg("epoch ", e,
+                        ": metric-vs-partition curves diverge between "
+                        "1-job and 3-job sweeps"));
+        }
+    }
+    for (int i = 0; i < 2; ++i) {
+        if (a.stats().committed[i] != b.stats().committed[i]) {
+            finding(r, kStage, "machine_divergence",
+                    msg("thread ", i, " committed ",
+                        a.stats().committed[i], " (1 job) vs ",
+                        b.stats().committed[i], " (3 jobs)"));
+        }
+    }
+}
+
+// --- Stage F: HILL vs PHASE-HILL on phase-free streams -------------
+
+void
+stagePhaseFreeDiff(const FuzzCase &c, FuzzResult &r)
+{
+    static const char *kStage = "F.phase-free-diff";
+
+    // Synthesize programs with no phase behavior at all: on a single
+    // stable phase the predictor always forecasts "same phase", so
+    // overrideAnchor must be the identity and PHASE-HILL must walk
+    // exactly HILL's anchor trajectory.
+    Rng rng(c.seed ^ 0xF00DF00Du);
+    std::vector<StreamGenerator> gens;
+    for (int i = 0; i < c.machine.numThreads; ++i) {
+        ProfileParams pp;
+        pp.name = msg("fuzz-flat-", i);
+        pp.seed = c.seed * 1000 + static_cast<std::uint64_t>(i) + 1;
+        pp.freqClass = 0;
+        pp.phaseSwing = 0.0;
+        pp.numBlocks = 8 + static_cast<int>(rng.nextBelow(17));
+        pp.avgBlockLen = 6 + static_cast<int>(rng.nextBelow(7));
+        pp.loadFrac = 0.20 + 0.10 * rng.nextDouble();
+        pp.serialFrac = 0.20 + 0.30 * rng.nextDouble();
+        pp.pLoadWarm = 0.01 * rng.nextDouble();
+        pp.pLoadCold = 0.002 * rng.nextDouble();
+        gens.emplace_back(buildProfile(pp),
+                          static_cast<std::uint64_t>(i));
+    }
+    SmtCpu flat(c.machine, std::move(gens));
+    flat.run(16 * 1024);
+
+    HillClimbing plain(c.hill);
+    PhaseHillClimbing phased(c.hill);
+    EpochTracer ta;
+    EpochTracer tb;
+    plain.setEpochTracer(&ta);
+    phased.setEpochTracer(&tb);
+
+    RunResult ra =
+        runPolicyOn(flat, plain, c.epochs, c.hill.epochSize);
+    RunResult rb =
+        runPolicyOn(flat, phased, c.epochs, c.hill.epochSize);
+
+    if (ta.size() != tb.size()) {
+        finding(r, kStage, "trace_length",
+                msg("HILL traced ", ta.size(), " epochs, PHASE-HILL ",
+                    tb.size()));
+        return;
+    }
+    for (std::size_t e = 0; e < ta.size(); ++e) {
+        const EpochTraceRecord &ea = ta.records()[e];
+        const EpochTraceRecord &eb = tb.records()[e];
+        if (!(ea.anchor == eb.anchor) || !(ea.trial == eb.trial)) {
+            finding(r, kStage, "anchor_divergence",
+                    msg("epoch ", e, ": HILL anchor ", ea.anchor.str(),
+                        " trial ", ea.trial.str(), " vs PHASE-HILL ",
+                        eb.anchor.str(), " trial ", eb.trial.str()));
+            break;
+        }
+    }
+    compareRuns(r, kStage, "HILL vs PHASE-HILL", ra, rb,
+                c.machine.numThreads);
+}
+
+} // namespace
+
+// --- Case construction ---------------------------------------------
+
+FuzzCase
+makeFuzzCase(std::uint64_t seed)
+{
+    Rng rng(seed ^ 0xD1FFD1FFD1FFD1FFull);
+    FuzzCase c;
+    c.seed = seed;
+
+    int nt = 2 + static_cast<int>(rng.nextBelow(3)); // 2..4 contexts
+    c.workload = randomWorkload(nt, seed);
+
+    SmtConfig &m = c.machine;
+    m.numThreads = nt;
+    m.fetchWidth = 4 << rng.nextBelow(2); // 4 or 8
+    m.issueWidth = m.fetchWidth;
+    m.commitWidth = m.fetchWidth;
+    m.fetchThreadsPerCycle = 1 + static_cast<int>(rng.nextBelow(2));
+    m.ifqSize =
+        m.fetchWidth * (2 + static_cast<int>(rng.nextBelow(2)));
+    m.intIqSize = 16 + 8 * static_cast<int>(rng.nextBelow(3));
+    m.fpIqSize = m.intIqSize;
+    m.lsqSize = 24 + 8 * static_cast<int>(rng.nextBelow(3));
+    m.robSize = 48 + 16 * static_cast<int>(rng.nextBelow(4));
+    m.intRegs = 32 + 16 * static_cast<int>(rng.nextBelow(4));
+    m.fpRegs = m.intRegs;
+    m.intAddUnits = 2 + static_cast<int>(rng.nextBelow(3));
+    m.intMulUnits = 1 + static_cast<int>(rng.nextBelow(2));
+    m.memPorts = 1 + static_cast<int>(rng.nextBelow(3));
+    m.fpAddUnits = 1 + static_cast<int>(rng.nextBelow(2));
+    m.fpMulUnits = 1 + static_cast<int>(rng.nextBelow(2));
+    m.gshareEntries = 1024;
+    m.bimodalEntries = 512;
+    m.metaEntries = 1024;
+    m.btbEntries = 256u << rng.nextBelow(2);
+    m.btbWays = 2u << rng.nextBelow(2);
+
+    bool small_l1 = rng.chance(0.5);
+    std::uint32_t l1_ways = small_l1 ? 1 : 2;
+    std::uint64_t l1_bytes = small_l1 ? 4 * 1024 : 8 * 1024;
+    m.mem.il1 = CacheConfig{"il1", l1_bytes, 64, l1_ways};
+    m.mem.dl1 = CacheConfig{"dl1", l1_bytes, 64, l1_ways};
+    bool small_l2 = rng.chance(0.5);
+    m.mem.ul2 = CacheConfig{"ul2",
+                            small_l2 ? 32 * 1024ull : 64 * 1024ull, 64,
+                            small_l2 ? 2u : 4u};
+    m.mem.l2Latency = 10 + 5 * static_cast<Cycle>(rng.nextBelow(3));
+    m.mem.memFirstChunk =
+        100 + 50 * static_cast<Cycle>(rng.nextBelow(3));
+    m.validate();
+
+    HillConfig &h = c.hill;
+    h.epochSize = Cycle{1024} << rng.nextBelow(3); // 1K/2K/4K cycles
+    h.delta = 1 << rng.nextBelow(4);               // 1..8 registers
+    h.minShare = 1 << rng.nextBelow(3);            // 1/2/4
+    switch (rng.nextBelow(3)) {
+      case 0: h.metric = PerfMetric::AvgIpc; break;
+      case 1: h.metric = PerfMetric::WeightedIpc; break;
+      default: h.metric = PerfMetric::HarmonicWeightedIpc; break;
+    }
+    h.softwareCost = rng.chance(0.5) ? 200 : 50;
+    h.samplePeriod = 3 + static_cast<int>(rng.nextBelow(6));
+    h.sampleSingleIpc = true;
+
+    c.epochs = 5 + static_cast<int>(rng.nextBelow(4));
+    c.warmup = 16 * 1024 + 8 * 1024 * rng.nextBelow(3);
+    c.offlineStride =
+        std::max(1, m.intRegs / (4 << rng.nextBelow(3)));
+    c.policyChoice = static_cast<int>(rng.nextBelow(4));
+    return c;
+}
+
+std::string
+FuzzCase::str() const
+{
+    return msg("seed=", seed, " workload=", workload.name, " threads=",
+               machine.numThreads, " regs=", machine.intRegs,
+               " policy=", policyName(policyChoice), " metric=",
+               metricName(hill.metric), " epochSize=", hill.epochSize,
+               " delta=", hill.delta, " minShare=", hill.minShare,
+               " epochs=", epochs, " warmup=", warmup, " stride=",
+               offlineStride);
+}
+
+std::string
+FuzzResult::summary() const
+{
+    std::string out;
+    for (const FuzzFinding &f : findings)
+        out += msg("[", f.stage, "/", f.check, "] ", f.detail, "\n");
+    return out;
+}
+
+// --- Driving -------------------------------------------------------
+
+FuzzResult
+runFuzzCase(const FuzzCase &c)
+{
+    FuzzResult r;
+    r.seed = c.seed;
+
+    stagePartitionAlgebra(c, r);
+    stagePhaseMachinery(c, r);
+
+    SmtCpu warm = buildFuzzCpu(c);
+    stageCheckedRun(c, r, warm);
+    stageCopyDeterminism(c, r, warm);
+    stageOfflineJobs(c, r, warm);
+    stagePhaseFreeDiff(c, r);
+    return r;
+}
+
+FuzzCase
+minimizeFuzzCase(FuzzCase c, int budget)
+{
+    int runs = 0;
+    auto stillFails = [&](const FuzzCase &candidate) {
+        if (runs >= budget)
+            return false;
+        ++runs;
+        return !runFuzzCase(candidate).passed();
+    };
+
+    while (c.epochs > 1) {
+        FuzzCase t = c;
+        t.epochs = std::max(1, c.epochs / 2);
+        if (t.epochs == c.epochs || !stillFails(t))
+            break;
+        c = t;
+    }
+    if (c.workload.numThreads() > 2) {
+        FuzzCase t = c;
+        t.workload = makeCustomWorkload(
+            {c.workload.benchmarks[0], c.workload.benchmarks[1]});
+        t.machine.numThreads = 2;
+        if (stillFails(t))
+            c = t;
+    }
+    while (c.warmup > 2048) {
+        FuzzCase t = c;
+        t.warmup = c.warmup / 2;
+        if (!stillFails(t))
+            break;
+        c = t;
+    }
+    return c;
+}
+
+FuzzSummary
+runFuzzSeeds(std::uint64_t first_seed, int count, bool verbose)
+{
+    FuzzSummary s;
+    for (int k = 0; k < count; ++k) {
+        std::uint64_t seed = first_seed + static_cast<std::uint64_t>(k);
+        FuzzCase c = makeFuzzCase(seed);
+        FuzzResult r = runFuzzCase(c);
+        ++s.casesRun;
+        if (verbose || !r.passed()) {
+            inform(msg(r.passed() ? "PASS " : "FAIL ", c.str()));
+        }
+        if (!r.passed()) {
+            inform(r.summary());
+            FuzzCase reduced = minimizeFuzzCase(c);
+            inform(msg("reproducer: ", reduced.str()));
+            s.failures.push_back(std::move(r));
+        }
+    }
+    return s;
+}
+
+} // namespace smthill

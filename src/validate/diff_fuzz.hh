@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Seeded differential fuzz harness over the whole simulator stack.
+ *
+ * Each seed deterministically expands into a FuzzCase — a random
+ * small machine configuration, workload, learner tuning, and policy
+ * choice — which then runs through a fixed battery of property and
+ * differential stages:
+ *
+ *  A. partition algebra: clampMin / trialPartition / moveAnchor /
+ *     enumeratePartitions2 conserve totals, respect feasible floors,
+ *     and enumerate exactly floor(total/stride) - 1 trials;
+ *  B. phase machinery: PhaseTable ids stay bounded by its capacity
+ *     under arbitrary signature streams, and the Markov predictor
+ *     answers "don't know" (-1) before it has observed anything;
+ *  C. an invariant-checked policy run: the chosen policy drives a
+ *     CheckedCpu with per-cycle invariant sweeps, the epoch trace is
+ *     cross-checked against the live learner, and the MachineReport
+ *     and epoch-trace JSON exports must round-trip exactly;
+ *  D. checkpoint determinism: two copies of the same warm machine
+ *     under cloned policies must stay bit-identical;
+ *  E. OfflineExhaustive with jobs == 1 vs jobs == 3 must produce
+ *     bit-identical epochs (2-thread cases only);
+ *  F. HillClimbing vs PhaseHillClimbing on phase-free streams must
+ *     produce identical anchor trajectories and machine states (a
+ *     single stable phase gives the phase learner nothing to reuse).
+ *
+ * Failures come back as FuzzFindings tagged with their stage; a
+ * failing case can be shrunk with minimizeFuzzCase, whose output is
+ * the reproducer to quote in a bug report (seed + reduced shape).
+ */
+
+#ifndef SMTHILL_VALIDATE_DIFF_FUZZ_HH
+#define SMTHILL_VALIDATE_DIFF_FUZZ_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/hill_climbing.hh"
+#include "pipeline/smt_config.hh"
+#include "workload/workloads.hh"
+
+namespace smthill
+{
+
+/** One deterministic fuzz scenario, fully derived from its seed. */
+struct FuzzCase
+{
+    std::uint64_t seed = 0;
+    SmtConfig machine;    ///< small randomized machine
+    Workload workload;    ///< random Table 2 combination
+    HillConfig hill;      ///< randomized learner tuning
+    int epochs = 6;       ///< measured epochs per stage
+    Cycle warmup = 24 * 1024;
+    int offlineStride = 8;   ///< enumeration stride for stage E
+    int policyChoice = 0;    ///< 0 HILL, 1 PHASE-HILL, 2 DCRA, 3 FLUSH
+
+    /** One-line description for logs and reproducer reports. */
+    std::string str() const;
+};
+
+/** Expand @p seed into its scenario. */
+FuzzCase makeFuzzCase(std::uint64_t seed);
+
+/** One property/differential failure. */
+struct FuzzFinding
+{
+    std::string stage;  ///< "A.partition-algebra", "E.offline-jobs", ...
+    std::string check;  ///< invariant or property name
+    std::string detail; ///< human-readable description
+};
+
+/** Outcome of one fuzz case. */
+struct FuzzResult
+{
+    std::uint64_t seed = 0;
+    std::vector<FuzzFinding> findings;
+
+    bool passed() const { return findings.empty(); }
+
+    /** One line per finding, prefixed with the stage. */
+    std::string summary() const;
+};
+
+/** Run every stage of @p c. */
+FuzzResult runFuzzCase(const FuzzCase &c);
+
+/**
+ * Shrink a failing case: repeatedly try fewer epochs, then fewer
+ * threads, then less warmup, keeping each reduction that still
+ * fails. @p budget bounds the number of re-runs. The result (still
+ * failing, or @p c itself if nothing smaller fails) plus its seed is
+ * the reproducer.
+ */
+FuzzCase minimizeFuzzCase(FuzzCase c, int budget = 12);
+
+/** Aggregate over a seed range. */
+struct FuzzSummary
+{
+    int casesRun = 0;
+    std::vector<FuzzResult> failures;
+
+    bool passed() const { return failures.empty(); }
+};
+
+/**
+ * Run seeds [first_seed, first_seed + count). With @p verbose each
+ * case prints a one-line PASS/FAIL; failures always print their
+ * findings and minimized reproducer.
+ */
+FuzzSummary runFuzzSeeds(std::uint64_t first_seed, int count,
+                         bool verbose = false);
+
+} // namespace smthill
+
+#endif // SMTHILL_VALIDATE_DIFF_FUZZ_HH

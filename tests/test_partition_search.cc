@@ -45,6 +45,38 @@ TEST(Enumerate2, RejectsBadArguments)
     EXPECT_DEATH(enumeratePartitions2(2, 4), "bad stride");
 }
 
+TEST(Enumerate2, OddTotalEnumeratesFloorTrials)
+{
+    // total not a multiple of stride: floor(255/2) - 1 = 126 trials,
+    // each still conserving the odd total exactly.
+    auto all = enumeratePartitions2(255, 2);
+    EXPECT_EQ(all.size(), 126u);
+    for (const auto &p : all)
+        EXPECT_EQ(p.total(), 255);
+    EXPECT_EQ(all.front().share[0], 2);
+    EXPECT_EQ(all.back().share[0], 252);
+    EXPECT_EQ(all.back().share[1], 3);
+}
+
+TEST(Enumerate2, StrideOfHalfTotalGivesSingleSplit)
+{
+    auto all = enumeratePartitions2(64, 32);
+    ASSERT_EQ(all.size(), 1u);
+    EXPECT_EQ(all[0].share[0], 32);
+    EXPECT_EQ(all[0].share[1], 32);
+}
+
+TEST(Enumerate2, StridePastHalfTotalStillConserves)
+{
+    // 31 < 64/2, but the second step (62) overshoots total - stride:
+    // exactly one lopsided trial, conserving the total.
+    auto all = enumeratePartitions2(64, 31);
+    ASSERT_EQ(all.size(), 1u);
+    EXPECT_EQ(all[0].share[0], 31);
+    EXPECT_EQ(all[0].share[1], 33);
+    EXPECT_EQ(all[0].total(), 64);
+}
+
 TEST(TrialPartition, ShiftsDeltaFromEveryOtherThread)
 {
     Partition anchor = Partition::equal(4, 256);
@@ -74,6 +106,61 @@ TEST(TrialPartition, FloorLimitsGainToo)
     anchor.share = {4, 252};
     Partition t = trialPartition(anchor, 1, 4, 4);
     EXPECT_EQ(t, anchor) << "nothing to take";
+}
+
+TEST(TrialPartition, DeltaLargerThanShareNeverGoesNegative)
+{
+    // Regression guard: a donor with share < delta gives only what it
+    // has above the floor — never wrapping negative.
+    Partition anchor;
+    anchor.numThreads = 2;
+    anchor.share = {3, 253};
+    Partition t = trialPartition(anchor, 1, 8, 0);
+    EXPECT_EQ(t.share[0], 0);
+    EXPECT_EQ(t.share[1], 256);
+    EXPECT_EQ(t.total(), 256);
+}
+
+TEST(TrialPartition, DonorAlreadyBelowFloorGivesNothing)
+{
+    Partition anchor;
+    anchor.numThreads = 2;
+    anchor.share = {2, 254};
+    Partition t = trialPartition(anchor, 1, 8, 4);
+    EXPECT_EQ(t, anchor) << "share below the floor must not donate";
+}
+
+TEST(TrialPartition, RejectsOutOfRangeFavoredThread)
+{
+    // Regression: an out-of-range favored thread used to write the
+    // gained units into a share slot no thread owns, silently
+    // changing the enforced total.
+    Partition anchor = Partition::equal(2, 256);
+    EXPECT_DEATH(trialPartition(anchor, 2, 4, 4), "favors thread");
+    EXPECT_DEATH(trialPartition(anchor, -1, 4, 4), "favors thread");
+    EXPECT_DEATH(moveAnchor(anchor, 5, 4, 4), "favors thread");
+}
+
+TEST(TrialPartition, RejectsNegativeDelta)
+{
+    Partition anchor = Partition::equal(2, 256);
+    EXPECT_DEATH(trialPartition(anchor, 0, -4, 4), "negative delta");
+}
+
+TEST(TrialPartition, ThreeAndFourThreadRemainders)
+{
+    // Odd totals with 3-4 threads: remainders from Partition::equal
+    // must survive trial/anchor moves without leaking units.
+    for (int threads : {3, 4}) {
+        Partition anchor = Partition::equal(threads, 255);
+        for (int favored = 0; favored < threads; ++favored) {
+            Partition t = trialPartition(anchor, favored, 4, 4);
+            EXPECT_EQ(t.total(), 255) << threads << "T favored "
+                                      << favored;
+            Partition m = moveAnchor(t, favored, 4, 4);
+            EXPECT_EQ(m.total(), 255);
+        }
+    }
 }
 
 TEST(MoveAnchor, MatchesTrialSemantics)

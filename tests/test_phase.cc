@@ -121,6 +121,35 @@ TEST(PhaseTable, LruRecyclingWhenFull)
     EXPECT_NE(a, a2) << "block-1 phase was evicted and re-founded";
 }
 
+TEST(PhaseTable, IdsStayBoundedByCapacity)
+{
+    // Regression (fuzzer stage B): recycling used to mint a fresh
+    // nextId++ for every evicted entry, so an arbitrary signature
+    // stream grew phase IDs without bound — and with them every
+    // structure keyed by phase ID. A recycled slot keeps its ID.
+    PhaseTable table(4, 0.05);
+    for (int i = 0; i < 40; ++i) {
+        int id = table.classify(sigFor(i * 3 + 1));
+        EXPECT_GE(id, 0);
+        EXPECT_LT(id, 4) << "phase ID escaped the table capacity";
+    }
+    EXPECT_LE(table.size(), 4);
+}
+
+TEST(PhaseTable, RecycledFlagSignalsStaleId)
+{
+    PhaseTable table(1, 0.05);
+    bool recycled = true;
+    int a = table.classify(sigFor(1), &recycled);
+    EXPECT_FALSE(recycled) << "first insert does not recycle";
+    int b = table.classify(sigFor(30), &recycled);
+    EXPECT_TRUE(recycled) << "eviction must be visible to consumers";
+    EXPECT_EQ(a, b) << "the slot keeps its ID across recycling";
+    bool again = true;
+    table.classify(sigFor(30), &again);
+    EXPECT_FALSE(again) << "a plain hit does not recycle";
+}
+
 TEST(Markov, LearnsAlternation)
 {
     MarkovPhasePredictor mp(256);
@@ -145,6 +174,32 @@ TEST(Markov, FallbackIsLastValue)
     MarkovPhasePredictor mp(256);
     mp.observe(7);
     EXPECT_EQ(mp.predict(), 7);
+}
+
+TEST(Markov, ColdStartSaysDontKnow)
+{
+    // Regression (fuzzer stage B): before any observation the
+    // predictor used to answer phase 0 — indistinguishable from a
+    // real prediction of phase 0, so consumers could act on pure
+    // noise. Cold start must answer -1.
+    MarkovPhasePredictor mp(256);
+    EXPECT_EQ(mp.predict(), -1);
+    mp.observe(3);
+    EXPECT_EQ(mp.predict(), 3) << "one observation ends cold start";
+}
+
+TEST(Markov, RunLengthSaturatesWithoutCorruption)
+{
+    // Run lengths are folded into a 16-bit tag; a run longer than
+    // 65535 epochs must saturate instead of wrapping into a tag that
+    // aliases short runs.
+    MarkovPhasePredictor mp(256);
+    for (int i = 0; i < 70000; ++i)
+        mp.observe(5);
+    EXPECT_EQ(mp.predict(), 5) << "a monotone stream predicts itself";
+    mp.observe(9);
+    int p = mp.predict();
+    EXPECT_TRUE(p == 5 || p == 9) << "prediction left the alphabet";
 }
 
 TEST(Markov, AccuracyTracksStablePattern)
@@ -197,6 +252,37 @@ TEST(PhaseHill, RunsAndDetectsPhases)
     }
     EXPECT_GE(hill.phasesSeen(), 1);
     EXPECT_GT(cpu.stats().committedTotal(), 10000u);
+}
+
+TEST(PhaseHill, LearnedPartitionsStayBounded)
+{
+    // Regression (fuzzer stage B): unbounded phase IDs made the
+    // learned phase -> partition map grow without limit. IDs now stay
+    // inside the table capacity and recycling drops the stale entry.
+    SmtConfig cfg;
+    cfg.numThreads = 2;
+    std::vector<StreamGenerator> gens;
+    gens.emplace_back(phasedProfile("pa"), 0);
+    gens.emplace_back(phasedProfile("pb"), 1);
+    SmtCpu cpu(cfg, std::move(gens));
+    cpu.run(50000);
+
+    HillConfig hc;
+    hc.epochSize = 8192;
+    hc.metric = PerfMetric::AvgIpc;
+    hc.sampleSingleIpc = false;
+    PhaseHillClimbing hill(hc);
+    hill.attach(cpu);
+    for (int e = 0; e < 60; ++e) {
+        runOneEpoch(cpu, hill, hc.epochSize);
+        hill.epoch(cpu, e);
+    }
+    EXPECT_LE(hill.learnedPartitions().size(), 128u);
+    for (const auto &[phase, part] : hill.learnedPartitions()) {
+        EXPECT_GE(phase, 0);
+        EXPECT_LT(phase, 128);
+        EXPECT_EQ(part.numThreads, 2);
+    }
 }
 
 TEST(PhaseHill, NameAndClone)

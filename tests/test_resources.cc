@@ -43,6 +43,44 @@ TEST(Partition, ClampMinPreservesTotal)
         EXPECT_GE(p.share[i], 8);
 }
 
+TEST(Partition, ClampMinInfeasibleFloorDegrades)
+{
+    // Regression (fuzzer stage A): min_share 100 x 3 threads > 256 is
+    // infeasible; clampMin used to bail out half-done, leaving shares
+    // below every floor. It must degrade to the best feasible floor
+    // (total / numThreads = 85) and still conserve the total.
+    Partition p;
+    p.numThreads = 3;
+    p.share = {100, 56, 100};
+    p.clampMin(100);
+    EXPECT_EQ(p.total(), 256);
+    for (int i = 0; i < 3; ++i)
+        EXPECT_GE(p.share[i], 85) << p.str();
+}
+
+TEST(Partition, ClampMinExactlyFeasibleFloor)
+{
+    // min_share * numThreads == total: the only valid result is the
+    // equal split.
+    Partition p;
+    p.numThreads = 4;
+    p.share = {0, 0, 0, 256};
+    p.clampMin(64);
+    EXPECT_EQ(p.total(), 256);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(p.share[i], 64) << p.str();
+}
+
+TEST(Partition, ClampMinLeavesFeasiblePartitionsAlone)
+{
+    Partition p;
+    p.numThreads = 3;
+    p.share = {10, 116, 130};
+    Partition before = p;
+    p.clampMin(8);
+    EXPECT_EQ(p, before);
+}
+
 TEST(Partition, StrFormat)
 {
     Partition p;
