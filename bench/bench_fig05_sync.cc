@@ -101,12 +101,12 @@ main()
         Json re = writeAndReloadJson(export_path, doc);
         const Json &rs = re.at("series");
         for (std::size_t p = 0; p < 3; ++p) {
-            const auto &off = rs.at("OFF-LINE").items();
+            const auto &off_series = rs.at("OFF-LINE").items();
             const auto &other = rs.at(names[p]).items();
-            std::size_t n = std::min(off.size(), other.size());
+            std::size_t n = std::min(off_series.size(), other.size());
             std::size_t wins = 0;
             for (std::size_t e = 0; e < n; ++e)
-                if (off[e].asDouble() >= other[e].asDouble())
+                if (off_series[e].asDouble() >= other[e].asDouble())
                     ++wins;
             double rate = n ? static_cast<double>(wins) /
                                   static_cast<double>(n)

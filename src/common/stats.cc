@@ -73,8 +73,9 @@ RunningStat::stddev() const
     return var > 0.0 ? std::sqrt(var) : 0.0;
 }
 
-Histogram::Histogram(double lo, double hi, std::size_t buckets)
-    : lo(lo), hi(hi), counts(buckets, 0)
+Histogram::Histogram(double lo_bound, double hi_bound,
+                     std::size_t buckets)
+    : lo(lo_bound), hi(hi_bound), counts(buckets, 0)
 {
     if (buckets < 1 || hi <= lo)
         fatal("Histogram: invalid range or bucket count");

@@ -9,8 +9,8 @@ namespace smthill
 
 ThreadPool::ThreadPool(int jobs)
     : numJobs(jobs < 1 ? 1 : jobs),
-      tasksStat(globalStats().counter("thread_pool.tasks")),
-      queueDepthStat(globalStats().gauge("thread_pool.queue_depth"))
+      tasksStat(globalStats().counter("smthill.thread_pool.tasks")),
+      queueDepthStat(globalStats().gauge("smthill.thread_pool.queue_depth"))
 {
     workers.reserve(static_cast<std::size_t>(numJobs - 1));
     for (int i = 0; i < numJobs - 1; ++i)

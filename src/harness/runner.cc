@@ -112,7 +112,8 @@ makeCpu(const Workload &workload, const RunConfig &config)
     // same warm machine for every policy, so cache it by value and
     // hand out copies. Bounded: a long-lived process sweeping many
     // machine configurations must not hold every warm machine alive.
-    static WarmCache<MachineKey, SmtCpu> cache(64, "warm_cache.machine");
+    static WarmCache<MachineKey, SmtCpu> cache(
+        64, "smthill.warm_cache.machine");
     MachineKey key{workload.name, config.seedSalt, config.warmupCycles,
                    config.machine};
     return cache.get(key, [&] {
@@ -203,7 +204,8 @@ soloIpc(const std::string &benchmark, const RunConfig &config,
 
         auto operator<=>(const SoloKey &) const = default;
     };
-    static WarmCache<SoloKey, double> cache(1024, "warm_cache.solo_ipc");
+    static WarmCache<SoloKey, double> cache(
+        1024, "smthill.warm_cache.solo_ipc");
     SoloKey key{benchmark, cycles, config.seedSalt, config.warmupCycles,
                 config.machine};
     key.machine.numThreads = 1; // solo runs always use one context

@@ -9,10 +9,10 @@
 namespace smthill
 {
 
-Table::Table(std::vector<std::string> headers)
-    : headers(std::move(headers))
+Table::Table(std::vector<std::string> column_headers)
+    : headers(std::move(column_headers))
 {
-    if (this->headers.empty())
+    if (headers.empty())
         fatal("Table: need at least one column");
 }
 

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * smthill-lint: project-specific static analysis over the source
+ * tree (see DESIGN.md §9 for the rule catalog and rationale).
+ *
+ * The simulator's headline results rest on properties no runtime
+ * check can prove — bit-identical replay at any `--jobs` count,
+ * checkpoint-clone determinism, stable stat/trace schemas — and
+ * those properties die silently when someone introduces `rand()`,
+ * wall-clock time, unordered-container iteration, or an off-schema
+ * stat name into a hot path. The rules here catch exactly those
+ * regressions at build time, before the differential fuzzer ever has
+ * to shrink a seed.
+ *
+ * Rules (each suppressible per line via
+ * `// smthill-lint: allow(<rule>)` on the finding line or the line
+ * above):
+ *  - no-wall-clock:          no `time()`/`clock()`/chrono clocks
+ *                            outside `src/common/rng.*`
+ *  - no-libc-random:         no `rand`/`srand`/`<random>` machinery
+ *                            outside `src/common/rng.*`
+ *  - no-unordered-container: no `std::unordered_{map,set}` anywhere
+ *                            (iteration order feeds exported results)
+ *  - stat-name:              literals registered via `globalStats()`
+ *                            match `smthill.*` dotted-lowercase and
+ *                            are registered once across `src/`
+ *  - schema-field:           JSON field literals in the epoch-trace
+ *                            and report writers stay inside the
+ *                            versioned schema lists
+ *  - error-handling:         no naked `new`/`delete`; no
+ *                            `exit`/`abort` outside `common/log.cc`;
+ *                            no `throw` in library code (`src/`)
+ *  - include-guard:          every header opens with the canonical
+ *                            `SMTHILL_<PATH>_HH` `#ifndef` guard
+ *  - layering:               `src/` modules include only same-or-
+ *                            lower-ranked modules (common -> trace/
+ *                            branch/memory -> pipeline -> policy/
+ *                            workload -> core -> phase -> harness ->
+ *                            validate)
+ */
+
+#ifndef SMTHILL_LINT_LINT_HH
+#define SMTHILL_LINT_LINT_HH
+
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+
+namespace smthill
+{
+namespace lint
+{
+
+/** One unsuppressed rule violation. */
+struct Finding
+{
+    std::string rule;    ///< rule name from ruleNames()
+    std::string file;    ///< path as passed to the linter
+    int line = 0;        ///< 1-based source line
+    std::string message; ///< human-readable description
+
+    bool operator==(const Finding &) const = default;
+};
+
+/** @return the names of every implemented rule. */
+std::vector<std::string> ruleNames();
+
+/**
+ * Lint one file given its @p path and @p content. Path-scoped rules
+ * (allowlists, module ranks, schema files) key off @p path, so tests
+ * may lint fixture content under a synthetic path. Duplicate
+ * stat-name detection is limited to registrations within this file;
+ * lintPaths() extends it across files.
+ */
+std::vector<Finding> lintFile(const std::string &path,
+                              const std::string &content);
+
+/**
+ * Lint files and directory trees. Directories are walked
+ * recursively for `.hh`/`.h`/`.cc`/`.cpp` files in deterministic
+ * (sorted) order, skipping build outputs, dot-directories, and
+ * `fixtures` directories (which hold intentionally-failing lint
+ * fixtures). Cross-file checks (duplicate stat registration under
+ * `src/`) run over the whole set.
+ *
+ * @param paths files and/or directories to lint
+ * @param error receives a message if a path cannot be read
+ * @return all unsuppressed findings, or nothing with @p error set
+ */
+std::vector<Finding> lintPaths(const std::vector<std::string> &paths,
+                               std::string &error);
+
+/** Serialize findings as a `smthill.lint.v1` JSON document. */
+Json findingsToJson(const std::vector<Finding> &findings);
+
+/**
+ * Parse a `smthill.lint.v1` document back into findings.
+ * @return false with @p error set on schema violations
+ */
+bool findingsFromJson(const Json &doc, std::vector<Finding> &out,
+                      std::string &error);
+
+} // namespace lint
+} // namespace smthill
+
+#endif // SMTHILL_LINT_LINT_HH

@@ -3,7 +3,8 @@
 namespace smthill
 {
 
-StallPolicy::StallPolicy(Cycle threshold) : threshold(threshold)
+StallPolicy::StallPolicy(Cycle stall_threshold)
+    : threshold(stall_threshold)
 {
 }
 

@@ -1,0 +1,27 @@
+// Must-flag fixture for rule `error-handling`: manual ownership and
+// ad-hoc process exits bypass the fatal()/panic() conventions (and
+// `throw` in library code leaves errors unloggable).
+#include <cstdlib>
+
+struct Buffer
+{
+    int *data = nullptr;
+};
+
+Buffer
+makeBuffer(int n)
+{
+    if (n <= 0)
+        exit(2);
+    if (n > 1 << 20)
+        throw n;
+    Buffer b;
+    b.data = new int[static_cast<unsigned>(n)];
+    return b;
+}
+
+void
+freeBuffer(Buffer &b)
+{
+    delete[] b.data;
+}

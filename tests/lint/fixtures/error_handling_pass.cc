@@ -1,0 +1,23 @@
+// Must-pass fixture for rule `error-handling`: owned storage and
+// fatal()/panic() from common/log.hh; deleted special members are
+// not naked deletes.
+#include <vector>
+
+#include "common/log.hh"
+
+class Buffer
+{
+  public:
+    explicit Buffer(int n)
+    {
+        if (n <= 0)
+            smthill::fatal("Buffer: size must be positive");
+        data.resize(static_cast<std::size_t>(n));
+    }
+
+    Buffer(const Buffer &) = delete;
+    Buffer &operator=(const Buffer &) = delete;
+
+  private:
+    std::vector<int> data;
+};

@@ -1,0 +1,11 @@
+// Must-flag fixture for rule `include-guard`: a stale guard macro
+// (not the canonical SMTHILL_<PATH>_HH for this header's path).
+#ifndef FIXTURE_GUARD_LEGACY_H
+#define FIXTURE_GUARD_LEGACY_H
+
+struct Placeholder
+{
+    int value = 0;
+};
+
+#endif // FIXTURE_GUARD_LEGACY_H

@@ -1,0 +1,15 @@
+/**
+ * @file
+ * Must-pass fixture for rule `include-guard`: canonical guard for
+ * the synthetic lint path src/fixture/include_guard_pass.hh.
+ */
+
+#ifndef SMTHILL_FIXTURE_INCLUDE_GUARD_PASS_HH
+#define SMTHILL_FIXTURE_INCLUDE_GUARD_PASS_HH
+
+struct Placeholder
+{
+    int value = 0;
+};
+
+#endif // SMTHILL_FIXTURE_INCLUDE_GUARD_PASS_HH

@@ -1,0 +1,11 @@
+// Must-flag fixture for rule `layering`: linted under the path
+// src/pipeline/layering_flag.cc, where including the validate layer
+// is an upward edge (pipeline rank 20 -> validate rank 70).
+#include "common/types.hh"
+#include "validate/invariants.hh"
+
+int
+checkedWidth(int width)
+{
+    return width > 0 ? width : 1;
+}

@@ -1,0 +1,12 @@
+// Must-pass fixture for rule `layering`: linted under the path
+// src/pipeline/layering_pass.cc; same-or-lower-ranked includes only.
+#include "branch/predictors.hh"
+#include "common/types.hh"
+#include "memory/cache.hh"
+#include "pipeline/smt_config.hh"
+
+int
+checkedWidth(int width)
+{
+    return width > 0 ? width : 1;
+}

@@ -1,0 +1,16 @@
+// Must-flag fixture for rule `no-libc-random`: out-of-band
+// randomness breaks checkpoint-clone replay.
+#include <random>
+
+int
+pickThread(int num_threads)
+{
+    std::mt19937 gen(std::random_device{}());
+    return static_cast<int>(gen() % static_cast<unsigned>(num_threads));
+}
+
+int
+legacyPick(int num_threads)
+{
+    return rand() % num_threads;
+}

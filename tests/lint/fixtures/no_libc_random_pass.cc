@@ -1,0 +1,17 @@
+// Must-pass fixture for rule `no-libc-random`: draws flow through
+// the project's seeded, copyable generator. A struct member named
+// `rand` (not a call) is also legal.
+#include "common/rng.hh"
+
+struct TrialResult
+{
+    double hill = 0.0;
+    double rand = 0.0; // RAND-HILL column, never called
+};
+
+int
+pickThread(smthill::Rng &rng, int num_threads)
+{
+    return static_cast<int>(
+        rng.nextBelow(static_cast<std::uint64_t>(num_threads)));
+}

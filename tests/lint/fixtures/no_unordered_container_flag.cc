@@ -1,0 +1,14 @@
+// Must-flag fixture for rule `no-unordered-container`: hash-table
+// iteration order varies across standard libraries and runs, so any
+// result derived from it is non-reproducible.
+#include <string>
+#include <unordered_map>
+
+double
+sumShares(const std::unordered_map<std::string, double> &shares)
+{
+    double total = 0.0;
+    for (const auto &[name, share] : shares)
+        total += share;
+    return total;
+}

@@ -1,0 +1,13 @@
+// Must-pass fixture for rule `no-unordered-container`: ordered
+// containers iterate deterministically.
+#include <map>
+#include <string>
+
+double
+sumShares(const std::map<std::string, double> &shares)
+{
+    double total = 0.0;
+    for (const auto &[name, share] : shares)
+        total += share;
+    return total;
+}

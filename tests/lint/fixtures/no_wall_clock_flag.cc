@@ -1,0 +1,16 @@
+// Must-flag fixture for rule `no-wall-clock` (lexed, never compiled):
+// wall-clock reads make two runs of the same seed diverge.
+#include <ctime>
+
+long
+epochStampSeconds()
+{
+    return time(nullptr);
+}
+
+double
+elapsedSinceStart()
+{
+    auto t0 = std::chrono::steady_clock::now();
+    return static_cast<double>(t0.time_since_epoch().count());
+}

@@ -1,0 +1,15 @@
+// Must-pass fixture for rule `no-wall-clock`: timing derives from
+// simulated cycles, and members merely *named* time are legal.
+#include <cstdint>
+
+struct EpochClock
+{
+    std::uint64_t cycle = 0;
+    std::uint64_t time = 0; // member named `time`, never called
+
+    std::uint64_t
+    elapsed(std::uint64_t since) const
+    {
+        return cycle - since;
+    }
+};

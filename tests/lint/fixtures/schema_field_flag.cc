@@ -1,0 +1,16 @@
+// Must-flag fixture for rule `schema-field`: the test lints this
+// content under the path src/core/epoch_trace.cc, so JSON field
+// literals must come from the smthill.epoch-trace.v1 list; writing a
+// new field without bumping the schema version is the defect.
+#include "common/json.hh"
+
+using smthill::Json;
+
+Json
+writeEpoch(int id)
+{
+    Json rec = Json::object();
+    rec.set("epoch", Json(id));
+    rec.set("wall_ms", Json(0.0)); // not in smthill.epoch-trace.v1
+    return rec;
+}

@@ -1,0 +1,15 @@
+// Must-flag fixture for rule `stat-name`: one off-convention name
+// (not smthill.*, not dotted-lowercase) and one duplicate
+// registration of a well-formed name (linted under a src/ path, so
+// duplicates count).
+#include "common/stat_registry.hh"
+
+using smthill::globalStats;
+
+void
+registerStats()
+{
+    globalStats().counter("ThreadPool.Tasks").inc();
+    globalStats().gauge("smthill.fixture.depth").set(1.0);
+    globalStats().gauge("smthill.fixture.depth").set(2.0);
+}

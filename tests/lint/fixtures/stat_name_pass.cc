@@ -1,0 +1,16 @@
+// Must-pass fixture for rule `stat-name`: smthill.* dotted-lowercase
+// names, each registered once; computed names are skipped (checked
+// at run time by the registry itself, not statically).
+#include <string>
+
+#include "common/stat_registry.hh"
+
+using smthill::globalStats;
+
+void
+registerStats(const std::string &prefix)
+{
+    globalStats().counter("smthill.fixture.tasks").inc();
+    globalStats().gauge("smthill.fixture.queue_depth").set(0.0);
+    globalStats().counter(prefix + ".hits").inc();
+}

@@ -152,13 +152,13 @@ TEST(StatRegistry, ThreadPoolRegistersItsStats)
 {
     // The pool wires itself into globalStats(); tasks executed there
     // are visible in the export.
-    std::uint64_t before = globalStats().counter("thread_pool.tasks")
+    std::uint64_t before = globalStats().counter("smthill.thread_pool.tasks")
                                .value();
     ThreadPool pool(2);
     std::atomic<int> ran{0};
     pool.parallelFor(16, [&](std::size_t) { ++ran; });
     EXPECT_EQ(ran.load(), 16);
-    EXPECT_GE(globalStats().counter("thread_pool.tasks").value(),
+    EXPECT_GE(globalStats().counter("smthill.thread_pool.tasks").value(),
               before);
 }
 
