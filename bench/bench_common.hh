@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "common/event_trace.hh"
 #include "common/json.hh"
 #include "common/log.hh"
 #include "common/stat_registry.hh"
@@ -89,6 +90,40 @@ statsJsonPath()
 {
     const char *p = std::getenv("SMTHILL_STATS_JSON");
     return p && *p ? p : "";
+}
+
+/**
+ * Opt-in cycle-level event-trace destination (SMTHILL_EVENT_TRACE);
+ * empty disables tracing entirely.
+ */
+inline std::string
+eventTracePath()
+{
+    const char *p = std::getenv("SMTHILL_EVENT_TRACE");
+    return p && *p ? p : "";
+}
+
+/**
+ * Write @p trace to @p path: a ".jsonl" extension selects the JSONL
+ * stream form, anything else the Chrome trace-event / Perfetto JSON
+ * document. Fatal on I/O failure.
+ */
+inline void
+writeEventTrace(const EventTrace &trace, const std::string &path)
+{
+    bool as_jsonl =
+        path.size() >= 6 &&
+        path.compare(path.size() - 6, 6, ".jsonl") == 0;
+    std::ofstream out(path, std::ios::binary);
+    out << (as_jsonl ? trace.toJsonl()
+                     : trace.toPerfettoJson().dump(2) + "\n");
+    if (!out)
+        fatal(msg("cannot write '", path, "'"));
+    std::printf("wrote %s event trace to %s (%zu events, %llu "
+                "dropped)\n",
+                as_jsonl ? "JSONL" : "Perfetto", path.c_str(),
+                trace.size(),
+                static_cast<unsigned long long>(trace.dropped()));
 }
 
 /**

@@ -15,13 +15,21 @@
  * the win rates from the parsed data, and fails unless they are
  * bit-identical to the stdout path — the figure is reproducible from
  * the export alone.
+ *
+ * SMTHILL_EVENT_TRACE=FILE writes the synchronized comparison's
+ * cycle-level `smthill.events.v1` trace: the OFF-LINE path renders
+ * as one Perfetto process and each compared policy as another, so
+ * the per-epoch checkpoint structure is visible at ui.perfetto.dev
+ * (.jsonl extension selects the JSONL form).
  */
 
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 
 #include "bench_common.hh"
+#include "common/event_trace.hh"
 #include "harness/sync_runner.hh"
 #include "harness/table.hh"
 #include "policy/dcra.hh"
@@ -55,8 +63,11 @@ main()
     DcraPolicy dcra;
     std::vector<ResourcePolicy *> policies{&icount, &flush, &dcra};
 
-    SyncResult res =
-        syncCompareOffline(makeCpu(w, rc), off, policies, rc.epochs);
+    EventTrace event_trace;
+    const std::string trace_path = eventTracePath();
+    SyncResult res = syncCompareOffline(
+        makeCpu(w, rc), off, policies, rc.epochs,
+        trace_path.empty() ? nullptr : &event_trace);
 
     Table t({"epoch", "ICOUNT", "FLUSH", "DCRA", "OFF-LINE"});
     for (int e = 0; e < rc.epochs; ++e) {
@@ -117,5 +128,8 @@ main()
                     "file match)\n",
                     export_path.c_str());
     }
+
+    if (!trace_path.empty())
+        writeEventTrace(event_trace, trace_path);
     return 0;
 }

@@ -12,6 +12,11 @@
  *
  * Scale with SMTHILL_EPOCHS (default 16) and SMTHILL_OFFLINE_STRIDE
  * (default 16).
+ *
+ * SMTHILL_EVENT_TRACE=FILE writes the hill-climbing runs' cycle-level
+ * `smthill.events.v1` trace: one Perfetto process per representative
+ * workload, with epoch/round slices, anchor-move audits, and the
+ * per-thread share counter tracks (.jsonl selects the JSONL form).
  */
 
 #include <cstdio>
@@ -55,6 +60,10 @@ main()
 
     RunConfig rc = benchRunConfig(12);
 
+    EventTrace event_trace;
+    const std::string trace_path = eventTracePath();
+    int trace_pid = 0;
+
     const std::pair<const char *, const char *> cases[] = {
         {"swim-mcf", "TS (temporally-stable)"},
         {"applu-ammp", "SS (spatially-stable)"},
@@ -71,6 +80,15 @@ main()
         hc.epochSize = rc.epochSize;
         hc.metric = PerfMetric::WeightedIpc;
         HillClimbing hill(hc);
+        if (!trace_path.empty()) {
+            // One Perfetto process per representative workload.
+            event_trace.processName(trace_pid, wname);
+            for (int i = 0; i < w.numThreads(); ++i)
+                event_trace.threadName(trace_pid, i, w.benchmarks[i]);
+            event_trace.threadName(trace_pid, kControlTid, "control");
+            hill.setEventTrace(&event_trace, trace_pid);
+            ++trace_pid;
+        }
 
         OfflineConfig oc;
         oc.stride =
@@ -103,5 +121,8 @@ main()
                 "closely; TL misses during abrupt shifts; SL risks\n"
                 "non-maximal peaks; JL re-course-corrects under "
                 "inter-epoch jitter (Section 4.4.1).\n");
+
+    if (!trace_path.empty())
+        writeEventTrace(event_trace, trace_path);
     return 0;
 }

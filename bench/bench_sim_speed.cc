@@ -5,11 +5,29 @@
  * whole-machine checkpoint cost, stream generation, predictor and
  * cache access rates. These are engineering numbers, not paper
  * results; they bound how large the figure benches can be scaled.
+ *
+ * SMTHILL_STATS_JSON=FILE writes the run results as a
+ * `smthill.bench.sim-speed.v1` document: one entry per benchmark with
+ * iterations, per-iteration real/cpu time (ns), items/sec, and — for
+ * the BM_CoreCycles* family, where one item is one simulated cycle —
+ * the headline kcycles/sec figure. The committed baseline lives at
+ * bench/BENCH_sim_speed.json; regenerate it with
+ *   SMTHILL_STATS_JSON=bench/BENCH_sim_speed.json ./bench_sim_speed
+ * and compare kcycles/sec before accepting a change that touches the
+ * core loop (the event-trace instrumentation, for example, must stay
+ * within noise when no tracer is attached).
  */
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.hh"
 #include "branch/predictors.hh"
+#include "common/event_trace.hh"
+#include "common/json.hh"
 #include "common/rng.hh"
 #include "core/offline_exhaustive.hh"
 #include "harness/runner.hh"
@@ -45,6 +63,24 @@ BM_CoreCycles(benchmark::State &state,
     state.counters["ipc"] = benchmark::Counter(
         static_cast<double>(cpu.stats().committedTotal()) /
         static_cast<double>(cpu.now()));
+}
+
+/**
+ * BM_CoreCycles with an event trace attached to the machine. The
+ * core loop itself emits nothing (events come from partition changes,
+ * stalls, and flushes driven by policies), so any delta against the
+ * smt2_mem config is pure pointer-check overhead — the "zero cost
+ * when disabled" claim, measured.
+ */
+void
+BM_CoreCycles_EventTrace(benchmark::State &state)
+{
+    SmtCpu cpu = machineFor({"art", "mcf"});
+    EventTrace trace(1024);
+    cpu.setEventTrace(&trace, 0);
+    for (auto _ : state)
+        cpu.step();
+    state.SetItemsProcessed(state.iterations());
 }
 
 void
@@ -120,6 +156,72 @@ BM_CacheAccess(benchmark::State &state)
     state.SetItemsProcessed(state.iterations());
 }
 
+/**
+ * Console reporting plus per-run capture for the JSON export: every
+ * plain iteration run is kept (aggregates and errored runs are not).
+ */
+class CaptureReporter : public benchmark::ConsoleReporter
+{
+  public:
+    std::vector<Run> captured;
+
+    bool
+    ReportContext(const Context &context) override
+    {
+        return benchmark::ConsoleReporter::ReportContext(context);
+    }
+
+    void
+    ReportRuns(const std::vector<Run> &report) override
+    {
+        for (const Run &r : report)
+            if (r.run_type == Run::RT_Iteration && !r.error_occurred)
+                captured.push_back(r);
+        benchmark::ConsoleReporter::ReportRuns(report);
+    }
+};
+
+/** Per-iteration time in nanoseconds, independent of the time unit. */
+double
+perIterNs(double accumulated_seconds, benchmark::IterationCount iters)
+{
+    if (iters == 0)
+        return 0.0;
+    return 1e9 * accumulated_seconds / static_cast<double>(iters);
+}
+
+void
+exportResults(const std::vector<CaptureReporter::Run> &runs,
+              const std::string &path)
+{
+    Json doc = Json::object();
+    doc.set("schema", Json("smthill.bench.sim-speed.v1"));
+    Json list = Json::array();
+    for (const auto &r : runs) {
+        Json entry = Json::object();
+        std::string name = r.benchmark_name();
+        entry.set("name", Json(name));
+        entry.set("iterations",
+                  Json(static_cast<std::uint64_t>(r.iterations)));
+        entry.set("real_ns_per_iter",
+                  Json(perIterNs(r.real_accumulated_time, r.iterations)));
+        entry.set("cpu_ns_per_iter",
+                  Json(perIterNs(r.cpu_accumulated_time, r.iterations)));
+        auto ips = r.counters.find("items_per_second");
+        if (ips != r.counters.end()) {
+            double per_sec = ips->second;
+            entry.set("items_per_sec", Json(per_sec));
+            // One item of a core-cycle bench is one simulated cycle.
+            if (name.rfind("BM_CoreCycles", 0) == 0)
+                entry.set("kcycles_per_sec", Json(per_sec / 1e3));
+        }
+        list.push(std::move(entry));
+    }
+    doc.set("benchmarks", std::move(list));
+    benchutil::writeAndReloadJson(path, doc);
+    std::printf("exported %s\n", path.c_str());
+}
+
 } // namespace
 
 BENCHMARK_CAPTURE(BM_CoreCycles, solo_ilp,
@@ -128,6 +230,7 @@ BENCHMARK_CAPTURE(BM_CoreCycles, smt2_mem,
                   std::vector<std::string>{"art", "mcf"});
 BENCHMARK_CAPTURE(BM_CoreCycles, smt4_mix,
                   std::vector<std::string>{"art", "mcf", "fma3d", "gcc"});
+BENCHMARK(BM_CoreCycles_EventTrace);
 BENCHMARK(BM_Checkpoint);
 BENCHMARK(BM_OfflineEpoch_Parallel)
     ->Arg(1)
@@ -140,4 +243,18 @@ BENCHMARK(BM_StreamGenerator);
 BENCHMARK(BM_HybridPredictor);
 BENCHMARK(BM_CacheAccess);
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    CaptureReporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    benchmark::Shutdown();
+
+    const std::string path = benchutil::statsJsonPath();
+    if (!path.empty())
+        exportResults(reporter.captured, path);
+    return 0;
+}

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Cycle-level event tracing (`smthill.events.v1`): a bounded
+ * ring-buffer recorder for simulator events — epochs, rounds, trial
+ * samples, anchor moves, flushes, stalls, phase transitions, and
+ * per-thread resource-share counter tracks — timestamped in simulated
+ * cycles (never wall clock, so traces are deterministic and the
+ * no-wall-clock lint rule holds by construction).
+ *
+ * Two sinks:
+ *  - Chrome trace-event / Perfetto JSON (toPerfettoJson): events carry
+ *    `ph`/`ts`/`dur`/`pid`/`tid` in the trace-event dialect, so a
+ *    trace loads directly into ui.perfetto.dev with one process per
+ *    workload/technique and one track per hardware thread;
+ *  - streaming JSONL (streamTo): one header line then one event
+ *    object per line, written as events are recorded, for unbounded
+ *    runs that would overflow any ring.
+ *
+ * The ring keeps the newest `capacity` events; overwritten events are
+ * counted (dropped()) and mirrored into globalStats() as
+ * `smthill.event_trace.dropped`. Cost when no tracer is attached is
+ * zero: every instrumentation site checks its EventTrace pointer
+ * before building an event.
+ */
+
+#ifndef SMTHILL_COMMON_EVENT_TRACE_HH
+#define SMTHILL_COMMON_EVENT_TRACE_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+#include "common/types.hh"
+
+namespace smthill
+{
+
+/**
+ * Track id used for machine/policy control-plane events that belong
+ * to no hardware thread (epoch slices, stalls, anchor moves). Kept
+ * clear of any plausible hardware-thread index so Perfetto renders a
+ * separate "control" track.
+ */
+inline constexpr int kControlTid = 1000;
+
+/** One trace event in the Chrome trace-event dialect. */
+struct SimEvent
+{
+    Cycle ts = 0;            ///< simulated cycle of the event (start)
+    std::int64_t dur = -1;   ///< cycles covered; >= 0 only for 'X'
+    char ph = 'i';           ///< B/E/X/i/C/M (trace-event phase)
+    std::int32_t pid = 0;    ///< workload / technique id
+    std::int32_t tid = 0;    ///< hardware thread, or kControlTid
+    std::string cat;         ///< taxonomy: epoch/hill/phase/machine/...
+    std::string name;
+    Json args;               ///< decision-audit payload (object) or null
+
+    bool operator==(const SimEvent &) const = default;
+};
+
+/** One-line human-readable rendering (diff reports, logs). */
+std::string eventSummary(const SimEvent &event);
+
+/** First-divergence result of comparing two event streams. */
+struct EventDiff
+{
+    bool diverged = false;
+    std::size_t index = 0;    ///< first differing position
+    std::string description;  ///< what differs (empty when equal)
+};
+
+/**
+ * Compare two event streams and report the first divergent event
+ * (field-wise), or a length mismatch past the common prefix.
+ */
+EventDiff diffEvents(const std::vector<SimEvent> &a,
+                     const std::vector<SimEvent> &b);
+
+/** Bounded ring-buffer event recorder with Perfetto/JSONL export. */
+class EventTrace
+{
+  public:
+    static constexpr std::size_t kDefaultCapacity = 64 * 1024;
+
+    explicit EventTrace(std::size_t capacity = kDefaultCapacity);
+
+    /** Record one event (ring append; oldest dropped when full). */
+    void record(SimEvent event);
+
+    // --- Emission helpers (thin sugar over record()) ---------------
+
+    /** Point event ('i'). */
+    void instant(Cycle ts, int pid, int tid, std::string cat,
+                 std::string name, Json args = Json());
+
+    /** Complete slice ('X') covering [ts, ts + dur). */
+    void complete(Cycle ts, std::int64_t dur, int pid, int tid,
+                  std::string cat, std::string name, Json args = Json());
+
+    /** Counter sample ('C'): one point on the (pid, name) track. */
+    void counter(Cycle ts, int pid, int tid, std::string name,
+                 double value);
+
+    /** Metadata ('M'): label process @p pid in trace viewers. */
+    void processName(int pid, const std::string &name);
+
+    /** Metadata ('M'): label thread (@p pid, @p tid). */
+    void threadName(int pid, int tid, const std::string &name);
+
+    // --- Inspection ------------------------------------------------
+
+    /** Retained events, oldest first. */
+    std::vector<SimEvent> events() const;
+
+    std::size_t size() const { return count; }
+    bool empty() const { return count == 0; }
+    std::size_t capacity() const { return cap; }
+
+    /** Total events offered over the trace's lifetime. */
+    std::uint64_t recorded() const { return recordedCount; }
+
+    /** Events overwritten by ring wrap-around. */
+    std::uint64_t dropped() const { return droppedCount; }
+
+    /** Drop retained events (lifetime counters keep accumulating). */
+    void clear();
+
+    // --- Sinks -----------------------------------------------------
+
+    /**
+     * Attach a streaming JSONL sink (nullptr detaches): a
+     * `smthill.events.v1` header line immediately, then one event
+     * object per line as each record() lands — events survive even
+     * after the ring overwrites them. The stream is owned by the
+     * caller and must outlive the attachment.
+     */
+    void streamTo(std::ostream *sink);
+
+    /**
+     * Export the retained events as a Chrome trace-event / Perfetto
+     * JSON document: {"displayTimeUnit", "otherData": {"schema":
+     * "smthill.events.v1", "clock": "sim-cycles", "dropped"},
+     * "traceEvents": [...]}.
+     */
+    Json toPerfettoJson() const;
+
+    /** Retained events as JSONL text (header line + one per line). */
+    std::string toJsonl() const;
+
+    // --- Import (round-trip tests, trace_report) -------------------
+
+    /** One event as a trace-event JSON object. */
+    static Json eventToJson(const SimEvent &event);
+
+    /** @return false with @p error set if @p j is not an event. */
+    static bool eventFromJson(const Json &j, SimEvent &out,
+                              std::string &error);
+
+    /** Rebuild events from a toPerfettoJson() document. */
+    static bool fromPerfettoJson(const Json &doc,
+                                 std::vector<SimEvent> &out,
+                                 std::string &error);
+
+    /** Rebuild events from JSONL text (as written by the sink). */
+    static bool fromJsonlText(const std::string &text,
+                              std::vector<SimEvent> &out,
+                              std::string &error);
+
+    /**
+     * Load a trace from file content, auto-detecting the format:
+     * a Perfetto JSON document or a JSONL stream.
+     */
+    static bool loadEventTraceText(const std::string &text,
+                                   std::vector<SimEvent> &out,
+                                   std::string &error);
+
+  private:
+    std::vector<SimEvent> ring;
+    std::size_t cap;
+    std::size_t head = 0;   ///< next write position
+    std::size_t count = 0;  ///< retained events
+    std::uint64_t recordedCount = 0;
+    std::uint64_t droppedCount = 0;
+    std::ostream *sink = nullptr;
+};
+
+/**
+ * Attachment handle for machines: deliberately NOT checkpointed.
+ * Copying (or copy-assigning) the owner drops the link, so machine
+ * checkpoints — offline trial sweeps, synchronized-comparison clones,
+ * fuzz copies — never interleave events into the committing run's
+ * stream, and event streams stay bit-identical at any `jobs` count.
+ */
+struct EventTraceRef
+{
+    EventTrace *trace = nullptr;
+    int pid = 0;
+
+    EventTraceRef() = default;
+    EventTraceRef(const EventTraceRef &) {}
+    EventTraceRef &
+    operator=(const EventTraceRef &other)
+    {
+        if (this != &other) {
+            trace = nullptr;
+            pid = 0;
+        }
+        return *this;
+    }
+};
+
+} // namespace smthill
+
+#endif // SMTHILL_COMMON_EVENT_TRACE_HH

@@ -7,6 +7,29 @@
 namespace smthill
 {
 
+namespace
+{
+
+Json
+shareJson(const Partition &p)
+{
+    Json arr = Json::array();
+    for (int i = 0; i < p.numThreads; ++i)
+        arr.push(Json(p.share[i]));
+    return arr;
+}
+
+Json
+ipcJson(const IpcSample &s)
+{
+    Json arr = Json::array();
+    for (int i = 0; i < s.numThreads; ++i)
+        arr.push(Json(s.ipc[i]));
+    return arr;
+}
+
+} // namespace
+
 HillClimbing::HillClimbing(HillConfig config) : cfg(config)
 {
     if (cfg.delta < 1)
@@ -41,6 +64,7 @@ HillClimbing::attach(SmtCpu &cpu)
     singleIpcEst.fill(0.0);
     lastCommitted = cpu.stats().committed;
     lastEpochStart = cpu.now();
+    roundStart = cpu.now();
     lastElapsed = 0;
     algEpoch = 0;
     epochsSinceSample = 0;
@@ -94,6 +118,13 @@ HillClimbing::beginSample(SmtCpu &cpu, int tid)
         cpu.setThreadEnabled(static_cast<ThreadId>(i), i == tid);
     // The solo thread gets the whole machine during the sample.
     cpu.clearPartition();
+    if (EventTrace *evt = eventTraceRef.trace) {
+        Json args = Json::object();
+        args.set("thread", tid);
+        args.set("bootstrap", bootstrapPending > 0);
+        evt->instant(cpu.now(), eventTraceRef.pid, kControlTid, "hill",
+                     "sample.begin", std::move(args));
+    }
 }
 
 void
@@ -125,6 +156,14 @@ HillClimbing::installTrial(SmtCpu &cpu)
     Partition trial =
         trialPartition(anchorPartition, favored, cfg.delta, cfg.minShare);
     cpu.setPartition(trial);
+    if (EventTrace *evt = eventTraceRef.trace) {
+        Json args = Json::object();
+        args.set("alg_epoch", algEpoch);
+        args.set("favored", favored);
+        args.set("trial", shareJson(trial));
+        evt->instant(cpu.now(), eventTraceRef.pid, kControlTid, "hill",
+                     "trial.install", std::move(args));
+    }
 }
 
 void
@@ -169,12 +208,33 @@ HillClimbing::epoch(SmtCpu &cpu, std::uint64_t epoch_id)
     Partition ran = cpu.partition();
     bool ran_partitioned = cpu.partitioningEnabled();
 
+    EventTrace *evt = eventTraceRef.trace;
+    int evtPid = eventTraceRef.pid;
+    if (evt) {
+        // The epoch that just finished, as one slice on the control
+        // track covering the cycles the measurement actually saw.
+        Json args = Json::object();
+        args.set("epoch", epoch_id);
+        args.set("kind", samplingThread >= 0 ? "sample" : "learn");
+        args.set("ipc", ipcJson(sample));
+        evt->complete(lastEpochStart,
+                      static_cast<std::int64_t>(lastElapsed), evtPid,
+                      kControlTid, "epoch", "epoch", std::move(args));
+    }
+
     if (samplingThread >= 0) {
         // The epoch that just ended ran samplingThread solo; its IPC
         // is the thread's stand-alone IPC estimate. Resume normal
         // multithreaded execution without consuming a learning epoch.
         int sampled = samplingThread;
         singleIpcEst[sampled] = sample.ipc[sampled];
+        if (evt) {
+            Json args = Json::object();
+            args.set("thread", sampled);
+            args.set("ipc", sample.ipc[sampled]);
+            evt->instant(cpu.now(), evtPid, kControlTid, "hill",
+                         "single_ipc.update", std::move(args));
+        }
         if (bootstrapPending > 0)
             --bootstrapPending;
         if (bootstrapPending > 0) {
@@ -208,10 +268,33 @@ HillClimbing::epoch(SmtCpu &cpu, std::uint64_t epoch_id)
         for (int i = 1; i < nt; ++i)
             if (roundPerf[i] > roundPerf[gradient_thread])
                 gradient_thread = i;
+        Partition before = anchorPartition;
         Partition next = moveAnchor(anchorPartition, gradient_thread,
                                     cfg.delta, cfg.minShare);
         anchorPartition = overrideAnchor(cpu, next);
         anchor_moved = true;
+        if (evt) {
+            // Decision audit: everything the gradient step looked at
+            // and everything it decided, in one event.
+            Json rp = Json::array();
+            for (int i = 0; i < nt; ++i)
+                rp.push(Json(roundPerf[i]));
+            Json args = Json::object();
+            args.set("alg_epoch", algEpoch);
+            args.set("round_perf", std::move(rp));
+            args.set("gradient", gradient_thread);
+            args.set("delta", cfg.delta);
+            args.set("anchor_before", shareJson(before));
+            args.set("anchor_step", shareJson(next));
+            args.set("anchor_after", shareJson(anchorPartition));
+            evt->instant(cpu.now(), evtPid, kControlTid, "hill",
+                         "anchor.move", std::move(args));
+            evt->complete(roundStart,
+                          static_cast<std::int64_t>(cpu.now() -
+                                                    roundStart),
+                          evtPid, kControlTid, "hill", "round");
+        }
+        roundStart = cpu.now();
     }
 
     ++algEpoch;

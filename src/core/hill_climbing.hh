@@ -137,6 +137,7 @@ class HillClimbing : public ResourcePolicy
     std::array<std::uint64_t, kMaxThreads> lastCommitted{};
     std::uint64_t algEpoch = 0;   ///< epochs consumed by learning
     Cycle lastEpochStart = 0;     ///< cycle measurement resumed at
+    Cycle roundStart = 0;         ///< cycle the current round began at
     Cycle lastElapsed = 0;        ///< cycles covered by the last sample
     int epochsSinceSample = 0;
     int sampleRotation = 0;       ///< next thread to sample

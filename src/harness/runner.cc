@@ -149,6 +149,11 @@ runPolicyOn(SmtCpu cpu, ResourcePolicy &policy, int epochs,
 {
     RunResult res;
     res.epochs.reserve(epochs);
+    // The machine arrived by value, so any event-trace link its
+    // source carried was dropped in the copy; mirror the policy's
+    // link onto the machine this run will actually execute on.
+    if (policy.eventTrace())
+        cpu.setEventTrace(policy.eventTrace(), policy.eventTracePid());
     policy.attach(cpu);
 
     res.startSnapshot = MachineSnapshot::capture(cpu);

@@ -24,7 +24,7 @@ SyncResult::offlineWinRate(std::size_t other_index) const
 SyncResult
 syncCompareOffline(SmtCpu cpu, const OfflineExhaustive &offline,
                    const std::vector<ResourcePolicy *> &policies,
-                   int epochs)
+                   int epochs, EventTrace *trace)
 {
     SyncResult res;
     res.offline.name = "OFF-LINE";
@@ -32,6 +32,13 @@ syncCompareOffline(SmtCpu cpu, const OfflineExhaustive &offline,
         res.others.push_back(SyncSeries{p->name(), {}});
 
     const OfflineConfig &oc = offline.config();
+
+    if (trace) {
+        trace->processName(0, "OFF-LINE");
+        for (std::size_t pi = 0; pi < policies.size(); ++pi)
+            trace->processName(1 + static_cast<int>(pi),
+                               policies[pi]->name());
+    }
 
     for (int e = 0; e < epochs; ++e) {
         const SmtCpu checkpoint = cpu;
@@ -41,15 +48,38 @@ syncCompareOffline(SmtCpu cpu, const OfflineExhaustive &offline,
         for (std::size_t pi = 0; pi < policies.size(); ++pi) {
             SmtCpu trial = checkpoint;
             auto policy = policies[pi]->clone();
+            // Clones drop any event-trace link (EventTraceRef), so
+            // the per-epoch throwaway machines must be wired
+            // explicitly; each policy files under its own process.
+            if (trace) {
+                int pid = 1 + static_cast<int>(pi);
+                policy->setEventTrace(trace, pid);
+                trial.setEventTrace(trace, pid);
+            }
             policy->attach(trial);
             IpcSample s = runOneEpoch(trial, *policy, oc.epochSize);
             res.others[pi].metric.push_back(
                 evalMetric(oc.metric, s, oc.singleIpc));
         }
 
-        // Advance the real machine along OFF-LINE's best path.
+        // Advance the real machine along OFF-LINE's best path. The
+        // step replaces the machine with a committed trial copy, so
+        // the trace link must be restored every epoch.
+        if (trace)
+            cpu.setEventTrace(trace, 0);
         OfflineEpoch rec = offline.stepEpoch(cpu);
         res.offline.metric.push_back(rec.metricValue);
+        if (trace) {
+            Json args = Json::object();
+            args.set("epoch", e);
+            args.set("metric", rec.metricValue);
+            Json shares = Json::array();
+            for (int i = 0; i < rec.best.numThreads; ++i)
+                shares.push(Json(rec.best.share[i]));
+            args.set("best", std::move(shares));
+            trace->instant(cpu.now(), 0, kControlTid, "offline",
+                           "best.partition", std::move(args));
+        }
     }
     return res;
 }
@@ -69,6 +99,11 @@ traceHillVsOffline(SmtCpu cpu, HillClimbing &hill,
     std::vector<HillTraceEpoch> out;
     out.reserve(epochs);
 
+    // The machine arrived by value; mirror the hill policy's event
+    // trace (if any) onto it. Probe copies drop the link, so the
+    // exhaustive per-epoch mapping never pollutes the stream.
+    if (hill.eventTrace())
+        cpu.setEventTrace(hill.eventTrace(), hill.eventTracePid());
     hill.attach(cpu);
     for (int e = 0; e < epochs; ++e) {
         // Exhaustively map the epoch from the checkpoint, without

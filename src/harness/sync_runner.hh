@@ -41,10 +41,16 @@ struct SyncResult
  * Figure 5: advance the machine along OFF-LINE's best path; at every
  * epoch boundary, run each policy for one epoch from the same
  * checkpoint and record its metric.
+ *
+ * @param trace optional cycle-level event trace: the OFF-LINE path
+ *        records as trace-event process 0 and each compared policy
+ *        as process 1 + its index, so the synchronized timelines
+ *        render side by side in Perfetto. Process/thread metadata
+ *        names are emitted on first use.
  */
 SyncResult syncCompareOffline(SmtCpu cpu, const OfflineExhaustive &offline,
                               const std::vector<ResourcePolicy *> &policies,
-                              int epochs);
+                              int epochs, EventTrace *trace = nullptr);
 
 /** One epoch of the Figure 12 trace. */
 struct HillTraceEpoch

@@ -219,10 +219,20 @@ schemaFieldsFor(const std::string &path)
         "l2_mpki",      "stalled_cycles",  "locked_frac",
         "flushed_per_commit",
     };
+    // smthill.events.v1 (common/event_trace.hh)
+    static const std::set<std::string> eventsV1 = {
+        "traceEvents", "displayTimeUnit", "otherData",
+        "schema",      "clock",           "dropped",
+        "name",        "cat",             "ph",
+        "ts",          "dur",             "pid",
+        "tid",         "args",            "value",
+    };
     if (endsWith(path, "core/epoch_trace.cc"))
         return &epochTraceV1;
     if (endsWith(path, "harness/report.cc"))
         return &reportV1;
+    if (endsWith(path, "common/event_trace.cc"))
+        return &eventsV1;
     return nullptr;
 }
 

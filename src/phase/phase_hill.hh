@@ -52,16 +52,38 @@ class PhaseHillClimbing : public HillClimbing
         return learned;
     }
 
+    /**
+     * Reuse hysteresis: a stored partitioning is only jumped to when
+     * both the current and the predicted phase are *stable* — seen
+     * for at least kReuseMinSeen epochs, with an average run length
+     * of at least kReuseMinAvgRun epochs per occurrence. BBV noise
+     * on nominally phase-free streams mints phantom phases that can
+     * recur, but every occurrence lasts exactly one epoch (each
+     * classification is also a transition), so their average run
+     * length pins at 1 and the gate holds; genuine phases persist
+     * for many epochs per visit and pass immediately. Without the
+     * gate, a noise-predicted transition jumped the anchor to a
+     * round-stale learned partitioning (the stage-F HILL vs
+     * PHASE-HILL divergences, fuzz seeds 69/90/121).
+     */
+    static constexpr std::uint64_t kReuseMinSeen = 2;
+    static constexpr std::uint64_t kReuseMinAvgRun = 2;
+
   protected:
     Partition overrideAnchor(SmtCpu &cpu, Partition next) override;
 
   private:
     static void branchTrampoline(void *ctx, const CommittedBranch &cb);
 
+    /** @return true if @p phase has shown multi-epoch persistence. */
+    bool phaseStable(int phase) const;
+
     BbvAccumulator bbv;
     PhaseTable table;
     MarkovPhasePredictor predictor;
     std::map<int, Partition> learned; ///< phase ID -> best anchor
+    std::map<int, std::uint64_t> phaseEpochs; ///< epochs classified
+    std::map<int, std::uint64_t> phaseRuns;   ///< maximal runs begun
     int currentPhase = -1;
     std::uint64_t reuseCount = 0;
 };

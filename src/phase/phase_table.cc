@@ -13,10 +13,13 @@ PhaseTable::PhaseTable(int max_phases, double threshold)
 }
 
 int
-PhaseTable::classify(const BbvSignature &signature, bool *recycled)
+PhaseTable::classify(const BbvSignature &signature, bool *recycled,
+                     bool *created)
 {
     if (recycled)
         *recycled = false;
+    if (created)
+        *created = true;
     ++useClock;
 
     Entry *best = nullptr;
@@ -37,6 +40,8 @@ PhaseTable::classify(const BbvSignature &signature, bool *recycled)
                 0.25 * signature.weights[i];
         }
         best->lastUse = useClock;
+        if (created)
+            *created = false;
         return best->id;
     }
 

@@ -41,8 +41,12 @@ class PhaseTable
      *
      * @param[out] recycled if non-null, set to true when the
      *             returned ID was just recycled from an evicted phase
+     * @param[out] created if non-null, set to true when the signature
+     *             founded a phase (fresh entry or recycled slot)
+     *             rather than matching a stored one
      */
-    int classify(const BbvSignature &signature, bool *recycled = nullptr);
+    int classify(const BbvSignature &signature, bool *recycled = nullptr,
+                 bool *created = nullptr);
 
     /** @return number of distinct phases currently stored. */
     int size() const { return static_cast<int>(entries.size()); }

@@ -130,12 +130,25 @@ SmtCpu::setPartition(const Partition &partition)
     curPartition = partition;
     limits = deriveLimits(partition, cfg);
     partitionOn = true;
+    if (evtRef.trace) {
+        // One counter track per hardware thread: the share timeline
+        // renders as stacked counters in Perfetto.
+        for (int i = 0; i < partition.numThreads; ++i) {
+            evtRef.trace->counter(curCycle, evtRef.pid, i,
+                                  "share.t" + std::to_string(i),
+                                  partition.share[i]);
+        }
+    }
 }
 
 void
 SmtCpu::clearPartition()
 {
     partitionOn = false;
+    if (evtRef.trace) {
+        evtRef.trace->instant(curCycle, evtRef.pid, kControlTid,
+                              "machine", "partition.clear");
+    }
 }
 
 void
@@ -154,6 +167,13 @@ void
 SmtCpu::setThreadEnabled(ThreadId tid, bool enabled)
 {
     threads.at(tid).enabled = enabled;
+    if (evtRef.trace) {
+        Json args = Json::object();
+        args.set("enabled", enabled);
+        evtRef.trace->instant(curCycle, evtRef.pid,
+                              static_cast<int>(tid), "machine",
+                              "thread.enabled", std::move(args));
+    }
 }
 
 bool
@@ -166,6 +186,12 @@ void
 SmtCpu::stallUntil(Cycle until)
 {
     stalledUntil = std::max(stalledUntil, until);
+    if (evtRef.trace && until > curCycle) {
+        evtRef.trace->complete(curCycle,
+                               static_cast<std::int64_t>(until - curCycle),
+                               evtRef.pid, kControlTid, "machine",
+                               "stall");
+    }
 }
 
 void
@@ -745,6 +771,14 @@ SmtCpu::flushThreadAfter(ThreadId tid, InstSeq seq)
     std::erase_if(t.misses, [start](const OutstandingMiss &m) {
         return m.seq >= start;
     });
+    if (evtRef.trace && squashed > 0) {
+        Json args = Json::object();
+        args.set("after_seq", seq);
+        args.set("squashed", squashed);
+        evtRef.trace->instant(curCycle, evtRef.pid,
+                              static_cast<int>(tid), "machine", "flush",
+                              std::move(args));
+    }
     return squashed;
 }
 

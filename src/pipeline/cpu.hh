@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "branch/predictors.hh"
+#include "common/event_trace.hh"
 #include "common/types.hh"
 #include "memory/hierarchy.hh"
 #include "pipeline/resources.hh"
@@ -192,6 +193,28 @@ class SmtCpu
      */
     void setTracer(PipelineTracer *t) { tracer = t; }
 
+    /**
+     * Attach a cycle-level event trace (nullptr detaches). Owned by
+     * the caller and deliberately NOT checkpointed: copying the
+     * machine drops the link (EventTraceRef semantics), so offline
+     * trial sweeps and synchronized-comparison clones never
+     * interleave events into the committing run's stream.
+     * @param pid trace-event process id the machine's events file
+     *        under (one per workload/technique)
+     */
+    void
+    setEventTrace(EventTrace *t, int pid)
+    {
+        evtRef.trace = t;
+        evtRef.pid = t ? pid : 0;
+    }
+
+    /** @return the attached event trace, or nullptr. */
+    EventTrace *eventTrace() const { return evtRef.trace; }
+
+    /** @return the trace-event process id of the attached trace. */
+    int eventTracePid() const { return evtRef.pid; }
+
   private:
     static constexpr InstSeq kNoSeq = ~InstSeq{0};
 
@@ -340,6 +363,7 @@ class SmtCpu
     LoadObserver loadObserver = nullptr;
     void *loadObserverCtx = nullptr;
     PipelineTracer *tracer = nullptr;
+    EventTraceRef evtRef;   ///< cycle-level event trace; drops on copy
 
     /** Record a pipeline trace event if a tracer is attached. */
     void

@@ -17,6 +17,7 @@
 #include <memory>
 #include <string>
 
+#include "common/event_trace.hh"
 #include "pipeline/cpu.hh"
 
 namespace smthill
@@ -62,8 +63,32 @@ class ResourcePolicy
     /** @return the attached tracer, or nullptr. */
     EpochTracer *epochTracer() const { return epochTracerPtr; }
 
+    /**
+     * Attach a cycle-level event trace (nullptr detaches). Owned by
+     * the caller; zero-cost when absent. Unlike the epoch tracer the
+     * link is dropped on copy (EventTraceRef semantics): the trace
+     * follows the committing run, never its clones, so synchronized
+     * comparisons and trial copies cannot interleave events.
+     * @param pid the trace-event process id this policy's events
+     *        (and its machine's, once the runner mirrors the link)
+     *        are filed under
+     */
+    void
+    setEventTrace(EventTrace *t, int pid)
+    {
+        eventTraceRef.trace = t;
+        eventTraceRef.pid = t ? pid : 0;
+    }
+
+    /** @return the attached event trace, or nullptr. */
+    EventTrace *eventTrace() const { return eventTraceRef.trace; }
+
+    /** @return the trace-event process id of the attached trace. */
+    int eventTracePid() const { return eventTraceRef.pid; }
+
   protected:
     EpochTracer *epochTracerPtr = nullptr;
+    EventTraceRef eventTraceRef;
 };
 
 } // namespace smthill

@@ -4,6 +4,7 @@
 #include <memory>
 #include <utility>
 
+#include "common/event_trace.hh"
 #include "common/log.hh"
 #include "common/rng.hh"
 #include "core/offline_exhaustive.hh"
@@ -470,11 +471,40 @@ stagePhaseFreeDiff(const FuzzCase &c, FuzzResult &r)
     EpochTracer tb;
     plain.setEpochTracer(&ta);
     phased.setEpochTracer(&tb);
+    EventTrace eva;
+    EventTrace evb;
+    plain.setEventTrace(&eva, 0);
+    phased.setEventTrace(&evb, 0);
 
     RunResult ra =
         runPolicyOn(flat, plain, c.epochs, c.hill.epochSize);
     RunResult rb =
         runPolicyOn(flat, phased, c.epochs, c.hill.epochSize);
+
+    // Event-level equivalence: outside the phase category (which only
+    // PHASE-HILL emits), the two runs must produce the same stream;
+    // the first divergent event localizes a drift to the exact
+    // decision that caused it.
+    auto comparable = [](const EventTrace &t) {
+        std::vector<SimEvent> out;
+        for (SimEvent &e : t.events()) {
+            if (e.cat != "phase")
+                out.push_back(std::move(e));
+        }
+        return out;
+    };
+    EventDiff d = diffEvents(comparable(eva), comparable(evb));
+    if (d.diverged) {
+        finding(r, kStage, "event_divergence",
+                msg("HILL vs PHASE-HILL: ", d.description));
+    }
+
+    // Both streams must be internally sane: per (pid, tid) track, sim
+    // time only moves forward.
+    InvariantChecker events_chk;
+    events_chk.checkEventStream(eva.events());
+    events_chk.checkEventStream(evb.events());
+    drainChecker(r, kStage, events_chk);
 
     if (ta.size() != tb.size()) {
         finding(r, kStage, "trace_length",

@@ -1,6 +1,8 @@
 #include "validate/invariants.hh"
 
 #include <cmath>
+#include <map>
+#include <utility>
 
 #include "common/log.hh"
 
@@ -321,6 +323,46 @@ InvariantChecker::checkEpochTrace(const HillClimbing &hill,
                 report("trace.ipc",
                        msg("record ", r, " thread ", i,
                            " has invalid IPC ", rec.ipc[i]));
+            }
+        }
+    }
+}
+
+void
+InvariantChecker::checkEventStream(const std::vector<SimEvent> &events)
+{
+    // Last end time seen per (pid, tid) track; points end at ts,
+    // slices at ts + dur.
+    std::map<std::pair<std::int32_t, std::int32_t>, Cycle> track_end;
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        const SimEvent &e = events[i];
+        if (e.ph != 'B' && e.ph != 'E' && e.ph != 'X' && e.ph != 'i' &&
+            e.ph != 'C' && e.ph != 'M') {
+            report("events.phase",
+                   msg("event ", i, " (", eventSummary(e),
+                       ") has unknown phase '", e.ph, "'"));
+            continue;
+        }
+        if (e.ph == 'M')
+            continue; // metadata carries no timestamp semantics
+        if (e.ph == 'X' && e.dur < 0) {
+            report("events.duration",
+                   msg("event ", i, " (", eventSummary(e),
+                       ") is a slice with negative duration ", e.dur));
+        }
+        Cycle end = e.ts;
+        if (e.ph == 'X' && e.dur > 0)
+            end += static_cast<Cycle>(e.dur);
+        auto [it, fresh] = track_end.try_emplace({e.pid, e.tid}, end);
+        if (!fresh) {
+            if (end < it->second) {
+                report("events.monotonic",
+                       msg("event ", i, " (", eventSummary(e),
+                           ") ends at cycle ", end,
+                           " before track (pid ", e.pid, ", tid ",
+                           e.tid, ") already reached ", it->second));
+            } else {
+                it->second = end;
             }
         }
     }

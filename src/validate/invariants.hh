@@ -35,6 +35,7 @@
 #include <string>
 #include <vector>
 
+#include "common/event_trace.hh"
 #include "core/epoch_trace.hh"
 #include "core/hill_climbing.hh"
 #include "pipeline/cpu.hh"
@@ -156,6 +157,15 @@ class InvariantChecker
      */
     void checkEpochTrace(const HillClimbing &hill,
                          const EpochTracer &tracer);
+
+    /**
+     * Cycle-level event-stream sanity (common/event_trace.hh): per
+     * (pid, tid) track, event end times (ts + dur for slices, ts for
+     * points) never decrease — sim time only moves forward — slice
+     * durations are non-negative, and phase characters are from the
+     * trace-event dialect the exporter emits (B/E/X/i/C/M).
+     */
+    void checkEventStream(const std::vector<SimEvent> &events);
 
     // --- Composite live-machine check -----------------------------
 

@@ -34,6 +34,13 @@
  *     policies record their internal state (anchor/trial partitions,
  *     round perf, SingleIPC estimates); other policies get a generic
  *     trace synthesized from the per-epoch IPC series.
+ *   event_trace=FILE  (or --event-trace=FILE) writes the cycle-level
+ *     `smthill.events.v1` event trace (see common/event_trace.hh):
+ *     epoch/round slices, anchor-move and phase-reuse decision
+ *     audits, and per-thread resource-share counter tracks. A path
+ *     ending in ".jsonl" writes the streaming JSONL form; any other
+ *     path writes Chrome trace-event / Perfetto JSON loadable at
+ *     ui.perfetto.dev.
  * GNU-style spellings are accepted: "--stats-json=x" is normalized
  * to "stats_json=x" (dashes only rewritten in the key, not values).
  */
@@ -44,6 +51,7 @@
 #include <string>
 #include <vector>
 
+#include "common/event_trace.hh"
 #include "common/json.hh"
 #include "common/log.hh"
 #include "common/options.hh"
@@ -273,6 +281,7 @@ main(int argc, char **argv)
     std::uint64_t solo_epochs = 16;
     std::string stats_json;
     std::string epoch_trace;
+    std::string event_trace;
 
     OptionSet opts;
     opts.addString("workload", &workload_name,
@@ -292,6 +301,10 @@ main(int argc, char **argv)
     opts.addString("epoch_trace", &epoch_trace,
                    "write the smthill.epoch-trace.v1 per-epoch trace "
                    "here (.csv extension selects CSV)");
+    opts.addString("event_trace", &event_trace,
+                   "write the smthill.events.v1 cycle-level event "
+                   "trace here (.jsonl extension selects JSONL; "
+                   "anything else gets Perfetto JSON)");
     opts.addInt("trace", &trace_events,
                 "dump the last N pipeline events after the run");
     opts.addInt32("jobs", &rc.jobs,
@@ -347,9 +360,11 @@ main(int argc, char **argv)
     if (workload_names.empty() || policy_names.empty())
         fatal("workload/policy lists must not be empty");
     if (workload_names.size() > 1 || policy_names.size() > 1) {
-        if (csv || trace_events > 0 || !epoch_trace.empty())
-            fatal("csv/trace/epoch_trace are single-run features; "
-                  "drop them or run one workload x policy cell");
+        if (csv || trace_events > 0 || !epoch_trace.empty() ||
+            !event_trace.empty())
+            fatal("csv/trace/epoch_trace/event_trace are single-run "
+                  "features; drop them or run one workload x policy "
+                  "cell");
         return runCliGrid(workload_names, policy_names, rc,
                           solo_epochs, stats_json);
     }
@@ -375,6 +390,18 @@ main(int argc, char **argv)
     EpochTracer epoch_tracer;
     if (!epoch_trace.empty())
         policy->setEpochTracer(&epoch_tracer);
+
+    // Cycle-level event trace: the run files under process 0, with
+    // one named track per hardware thread plus the control track.
+    EventTrace event_tracer;
+    if (!event_trace.empty()) {
+        event_tracer.processName(0, workload.name + " / " +
+                                        policy->name());
+        for (int i = 0; i < workload.numThreads(); ++i)
+            event_tracer.threadName(0, i, workload.benchmarks[i]);
+        event_tracer.threadName(0, kControlTid, "control");
+        policy->setEventTrace(&event_tracer, 0);
+    }
 
     RunResult res =
         runPolicyOn(std::move(cpu), *policy, rc.epochs, rc.epochSize);
@@ -405,6 +432,18 @@ main(int argc, char **argv)
                       as_csv ? epoch_tracer.toCsv()
                              : epoch_tracer.toJson(metric).dump(2) +
                                    "\n");
+    }
+
+    if (!event_trace.empty()) {
+        bool as_jsonl =
+            event_trace.size() >= 6 &&
+            event_trace.compare(event_trace.size() - 6, 6, ".jsonl") ==
+                0;
+        writeTextFile(event_trace,
+                      as_jsonl
+                          ? event_tracer.toJsonl()
+                          : event_tracer.toPerfettoJson().dump(2) +
+                                "\n");
     }
 
     if (!stats_json.empty()) {
