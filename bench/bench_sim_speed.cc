@@ -88,8 +88,27 @@ BM_Checkpoint(benchmark::State &state)
 {
     SmtCpu cpu = machineFor({"art", "mcf"});
     for (auto _ : state) {
-        SmtCpu copy = cpu;
+        // The copy is the thing being measured.
+        SmtCpu copy = cpu; // smthill-lint: allow(cpu-copy-hot-path)
         benchmark::DoNotOptimize(&copy);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+/**
+ * The arena path the trial sweeps actually take: restore a warm
+ * machine from a checkpoint via SmtCpu::restoreFrom. The delta
+ * against BM_Checkpoint is the allocation tax a cold copy-construct
+ * pays on top of the state copy.
+ */
+void
+BM_CheckpointRestore(benchmark::State &state)
+{
+    SmtCpu cpu = machineFor({"art", "mcf"});
+    SmtCpu warm = cpu; // smthill-lint: allow(cpu-copy-hot-path)
+    for (auto _ : state) {
+        warm.restoreFrom(cpu);
+        benchmark::DoNotOptimize(&warm);
     }
     state.SetItemsProcessed(state.iterations());
 }
@@ -136,7 +155,9 @@ BM_OfflineEpoch_Parallel(benchmark::State &state)
     oc.jobs = static_cast<int>(state.range(0));
     OfflineExhaustive off(oc);
     for (auto _ : state) {
-        SmtCpu epoch_cpu = cpu;
+        // One copy per measured epoch so every iteration sweeps the
+        // same program point; the sweep inside uses the arena.
+        SmtCpu epoch_cpu = cpu; // smthill-lint: allow(cpu-copy-hot-path)
         benchmark::DoNotOptimize(off.stepEpoch(epoch_cpu));
     }
     state.SetItemsProcessed(state.iterations());
@@ -196,6 +217,21 @@ exportResults(const std::vector<CaptureReporter::Run> &runs,
 {
     Json doc = Json::object();
     doc.set("schema", Json("smthill.bench.sim-speed.v1"));
+
+    // Jobs-scaling efficiency for the parallel family: real_time at
+    // jobs=1 divided by (real_time at jobs=j times j). 1.0 is perfect
+    // scaling; 1/j is no real-time benefit at all (e.g. a single-CPU
+    // host, where only cpu_ns_per_iter divides).
+    double base_real_ns = 0.0;
+    for (const auto &r : runs) {
+        auto jobs_it = r.counters.find("jobs");
+        if (jobs_it != r.counters.end() &&
+            static_cast<int>(jobs_it->second) == 1) {
+            base_real_ns = perIterNs(r.real_accumulated_time, r.iterations);
+            break;
+        }
+    }
+
     Json list = Json::array();
     for (const auto &r : runs) {
         Json entry = Json::object();
@@ -215,6 +251,16 @@ exportResults(const std::vector<CaptureReporter::Run> &runs,
             if (name.rfind("BM_CoreCycles", 0) == 0)
                 entry.set("kcycles_per_sec", Json(per_sec / 1e3));
         }
+        auto jobs_it = r.counters.find("jobs");
+        if (jobs_it != r.counters.end() && base_real_ns > 0.0) {
+            double j = jobs_it->second;
+            double real_ns = perIterNs(r.real_accumulated_time,
+                                       r.iterations);
+            if (j > 0.0 && real_ns > 0.0) {
+                entry.set("parallel_efficiency",
+                          Json(base_real_ns / (real_ns * j)));
+            }
+        }
         list.push(std::move(entry));
     }
     doc.set("benchmarks", std::move(list));
@@ -232,6 +278,7 @@ BENCHMARK_CAPTURE(BM_CoreCycles, smt4_mix,
                   std::vector<std::string>{"art", "mcf", "fma3d", "gcc"});
 BENCHMARK(BM_CoreCycles_EventTrace);
 BENCHMARK(BM_Checkpoint);
+BENCHMARK(BM_CheckpointRestore);
 BENCHMARK(BM_OfflineEpoch_Parallel)
     ->Arg(1)
     ->Arg(2)

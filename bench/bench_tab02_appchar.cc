@@ -33,7 +33,7 @@ freqName(int cls)
 double
 ipcAtShare(const SmtCpu &warm, int share, Cycle window)
 {
-    SmtCpu cpu = warm;
+    SmtCpu cpu = warm; // smthill-lint: allow(cpu-copy-hot-path)
     Partition p;
     p.numThreads = 1;
     p.share[0] = share;
@@ -87,7 +87,7 @@ main()
         // (b) Per-epoch requirement trajectory.
         int changes = 0;
         int prev = -1;
-        SmtCpu walker = cpu;
+        SmtCpu walker = cpu; // smthill-lint: allow(cpu-copy-hot-path)
         for (int e = 0; e < var_epochs; ++e) {
             int req = requirementAt(walker, epoch);
             if (prev >= 0 && std::abs(req - prev) >= 16)

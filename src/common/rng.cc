@@ -88,9 +88,17 @@ Rng::nextGeometric(double p, int max_value)
         return 1;
     if (p <= 0.0)
         return max_value;
+    return nextGeometricLog(std::log1p(-p), max_value);
+}
+
+int
+Rng::nextGeometricLog(double log1p_neg_p, int max_value)
+{
+    if (log1p_neg_p == 0.0 || max_value <= 1)
+        return 1; // degenerate p >= 1: no draw, same as nextGeometric
     double u = nextDouble();
     // Inverse-CDF of geometric distribution on {1, 2, ...}.
-    int v = 1 + static_cast<int>(std::log1p(-u) / std::log1p(-p));
+    int v = 1 + static_cast<int>(std::log1p(-u) / log1p_neg_p);
     if (v < 1)
         v = 1;
     if (v > max_value)

@@ -48,6 +48,15 @@ class Rng
      */
     int nextGeometric(double p, int max_value);
 
+    /**
+     * nextGeometric with the denominator log1p(-p) precomputed by the
+     * caller (it is constant per distribution, and log1p is the
+     * expensive part of every draw). A denominator of exactly 0.0 is
+     * the degenerate p >= 1 case and returns 1 without consuming any
+     * randomness — the same draws nextGeometric(p, ...) would make.
+     */
+    int nextGeometricLog(double log1p_neg_p, int max_value);
+
     bool operator==(const Rng &) const = default;
 
   private:

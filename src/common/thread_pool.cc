@@ -10,7 +10,8 @@ namespace smthill
 ThreadPool::ThreadPool(int jobs)
     : numJobs(jobs < 1 ? 1 : jobs),
       tasksStat(globalStats().counter("smthill.thread_pool.tasks")),
-      queueDepthStat(globalStats().gauge("smthill.thread_pool.queue_depth"))
+      queueDepthStat(globalStats().gauge("smthill.thread_pool.queue_depth")),
+      forIndicesStat(globalStats().counter("smthill.thread_pool.for_indices"))
 {
     workers.reserve(static_cast<std::size_t>(numJobs - 1));
     for (int i = 0; i < numJobs - 1; ++i)
@@ -105,13 +106,22 @@ void
 ThreadPool::parallelFor(std::size_t n,
                         const std::function<void(std::size_t)> &body)
 {
+    parallelForWorker(n,
+                      [&body](std::size_t i, int) { body(i); });
+}
+
+void
+ThreadPool::parallelForWorker(
+    std::size_t n, const std::function<void(std::size_t, int)> &body)
+{
     if (n == 0)
         return;
+    forIndicesStat.add(n);
     if (workers.empty() || n == 1) {
         // Exact serial execution: same thread, same order, and
         // exceptions propagate directly from the throwing index.
         for (std::size_t i = 0; i < n; ++i)
-            body(i);
+            body(i, 0);
         return;
     }
 
@@ -127,15 +137,19 @@ ThreadPool::parallelFor(std::size_t n,
     state->helpersLeft = static_cast<int>(helpers);
 
     for (std::size_t h = 0; h < helpers; ++h) {
-        enqueue([state, &body] {
-            state->drain(body);
+        // Helper h runs as worker id h + 1 (the caller is worker 0).
+        const int worker = static_cast<int>(h) + 1;
+        enqueue([state, &body, worker] {
+            state->drain([&body, worker](std::size_t i) {
+                body(i, worker);
+            });
             std::lock_guard<std::mutex> lock(state->doneMutex);
             if (--state->helpersLeft == 0)
                 state->doneCv.notify_all();
         });
     }
 
-    state->drain(body);
+    state->drain([&body](std::size_t i) { body(i, 0); });
 
     // Take the exception out of the shared state before rethrowing:
     // the last reference to the exception object must be released

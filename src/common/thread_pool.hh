@@ -68,6 +68,18 @@ class ThreadPool
                      const std::function<void(std::size_t)> &body);
 
     /**
+     * parallelFor variant that also hands body the identity of the
+     * executing lane: the calling thread is worker 0, pool threads
+     * are workers 1..jobs()-1. A given worker id is never active on
+     * two indices at once, so per-worker scratch (e.g. a MachineArena
+     * machine) needs no synchronization. Same determinism and
+     * exception contract as parallelFor.
+     */
+    void parallelForWorker(
+        std::size_t n,
+        const std::function<void(std::size_t, int)> &body);
+
+    /**
      * Run one task asynchronously; @return a future for its result.
      * With jobs == 1 the task runs inline before submit returns.
      */
@@ -102,9 +114,12 @@ class ThreadPool
     bool shuttingDown = false;
 
     // Observability (globalStats(); see stat_registry.hh): executed
-    // task count and the queue depth at each enqueue/dequeue edge.
+    // task count, the queue depth at each enqueue/dequeue edge, and
+    // parallelFor indices (batched: one add(n) per sweep, so the hot
+    // index-drain loop touches no stats at all).
     StatCounter &tasksStat;
     StatGauge &queueDepthStat;
+    StatCounter &forIndicesStat;
 };
 
 } // namespace smthill

@@ -1,0 +1,34 @@
+#include "core/machine_arena.hh"
+
+#include "common/log.hh"
+
+namespace smthill
+{
+
+MachineArena::MachineArena(int workers)
+    : machines(static_cast<std::size_t>(workers < 1 ? 1 : workers))
+{
+}
+
+SmtCpu &
+MachineArena::acquire(int worker, const SmtCpu &checkpoint)
+{
+    if (worker < 0 || worker >= workers())
+        fatal(msg("MachineArena: worker ", worker, " out of range [0, ",
+                  workers(), ")"));
+    std::unique_ptr<SmtCpu> &m = machines[static_cast<std::size_t>(worker)];
+    if (!m) {
+        // First trial on this worker: clone (the event-trace link is
+        // already dropped by copy), then detach observation exactly
+        // as restoreFrom would — trials never observe.
+        m = std::make_unique<SmtCpu>(checkpoint);
+        m->setTracer(nullptr);
+        m->setBranchObserver(nullptr, nullptr);
+        m->setLoadObserver(nullptr, nullptr);
+        return *m;
+    }
+    m->restoreFrom(checkpoint);
+    return *m;
+}
+
+} // namespace smthill

@@ -6,20 +6,8 @@ namespace smthill
 {
 
 IpcSample
-runFixedPartitionEpoch(const SmtCpu &checkpoint, const Partition &partition,
-                       Cycle epoch_size, SmtCpu *advanced)
+runTrialEpoch(SmtCpu &trial, const Partition &partition, Cycle epoch_size)
 {
-    SmtCpu trial = checkpoint;
-    if (!advanced) {
-        // Machine copies share the checkpoint's tracer/observer
-        // pointers, which are not thread-safe; pure trial epochs may
-        // run concurrently, so they run unobserved. The committing
-        // run (advanced != nullptr) is always serial and keeps them,
-        // so the machine handed back retains its attachments.
-        trial.setTracer(nullptr);
-        trial.setBranchObserver(nullptr, nullptr);
-        trial.setLoadObserver(nullptr, nullptr);
-    }
     trial.setPartition(partition);
     auto before = trial.stats().committed;
     trial.run(epoch_size);
@@ -31,6 +19,28 @@ runFixedPartitionEpoch(const SmtCpu &checkpoint, const Partition &partition,
             static_cast<double>(trial.stats().committed[i] - before[i]) /
             static_cast<double>(epoch_size);
     }
+    return s;
+}
+
+IpcSample
+runFixedPartitionEpoch(const SmtCpu &checkpoint, const Partition &partition,
+                       Cycle epoch_size, SmtCpu *advanced)
+{
+    // One copy per committed epoch (not per trial); the committing
+    // run keeps the checkpoint's observer attachments, which a
+    // MachineArena restore deliberately drops.
+    SmtCpu trial = checkpoint; // smthill-lint: allow(cpu-copy-hot-path)
+    if (!advanced) {
+        // Machine copies share the checkpoint's tracer/observer
+        // pointers, which are not thread-safe; pure trial epochs may
+        // run concurrently, so they run unobserved. The committing
+        // run (advanced != nullptr) is always serial and keeps them,
+        // so the machine handed back retains its attachments.
+        trial.setTracer(nullptr);
+        trial.setBranchObserver(nullptr, nullptr);
+        trial.setLoadObserver(nullptr, nullptr);
+    }
+    IpcSample s = runTrialEpoch(trial, partition, epoch_size);
     if (advanced)
         *advanced = std::move(trial);
     return s;
@@ -49,7 +59,8 @@ OfflineResult::meanMetric() const
 
 OfflineExhaustive::OfflineExhaustive(OfflineConfig config)
     : cfg(config),
-      pool(std::make_shared<ThreadPool>(cfg.jobs < 1 ? 1 : cfg.jobs))
+      pool(std::make_shared<ThreadPool>(cfg.jobs < 1 ? 1 : cfg.jobs)),
+      arena(std::make_shared<MachineArena>(pool->jobs()))
 {
     if (cfg.stride < 1)
         fatal("OfflineExhaustive: stride must be >= 1");
@@ -62,7 +73,9 @@ OfflineExhaustive::stepEpoch(SmtCpu &cpu) const
         fatal("OfflineExhaustive: exhaustive search supports exactly "
               "2 hardware contexts (use RandHill for more)");
 
-    const SmtCpu checkpoint = cpu;
+    // One checkpoint capture per epoch; trials restore from it via
+    // the arena below.
+    const SmtCpu checkpoint = cpu; // smthill-lint: allow(cpu-copy-hot-path)
     const int total = cpu.config().intRegs;
 
     // Every trial is an independent function of the checkpoint, so
@@ -74,9 +87,11 @@ OfflineExhaustive::stepEpoch(SmtCpu &cpu) const
         enumeratePartitions2(total, cfg.stride);
     std::vector<IpcSample> samples(trials.size());
     std::vector<double> metrics(trials.size());
-    pool->parallelFor(trials.size(), [&](std::size_t i) {
-        samples[i] =
-            runFixedPartitionEpoch(checkpoint, trials[i], cfg.epochSize);
+    pool->parallelForWorker(trials.size(), [&](std::size_t i, int worker) {
+        // Restore the worker's warm machine instead of copy-
+        // constructing a fresh SmtCpu per trial.
+        SmtCpu &trial = arena->acquire(worker, checkpoint);
+        samples[i] = runTrialEpoch(trial, trials[i], cfg.epochSize);
         metrics[i] = evalMetric(cfg.metric, samples[i], cfg.singleIpc);
     });
 

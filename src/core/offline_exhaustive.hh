@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/thread_pool.hh"
+#include "core/machine_arena.hh"
 #include "core/metrics.hh"
 #include "core/partitioning.hh"
 #include "pipeline/cpu.hh"
@@ -37,6 +38,17 @@ IpcSample runFixedPartitionEpoch(const SmtCpu &checkpoint,
                                  const Partition &partition,
                                  Cycle epoch_size,
                                  SmtCpu *advanced = nullptr);
+
+/**
+ * Measure one epoch on an already-restored trial machine (typically a
+ * MachineArena machine just restored to the checkpoint): install the
+ * partition, run @p epoch_size cycles, and return per-thread IPCs.
+ * The machine is left in its end-of-epoch state; callers restore it
+ * again before the next trial. Bit-identical to the value-copy path
+ * of runFixedPartitionEpoch.
+ */
+IpcSample runTrialEpoch(SmtCpu &trial, const Partition &partition,
+                        Cycle epoch_size);
 
 /** OFF-LINE configuration. */
 struct OfflineConfig
@@ -96,6 +108,13 @@ class OfflineExhaustive
     OfflineConfig cfg;
     /** Trial-sweep pool, shared by copies of the learner. */
     std::shared_ptr<ThreadPool> pool;
+    /**
+     * Warm per-worker trial machines, shared by copies of the learner
+     * like the pool. A learner (including its copies) must not run
+     * stepEpoch concurrently from multiple threads — the arena's
+     * per-worker exclusivity holds within one sweep at a time.
+     */
+    std::shared_ptr<MachineArena> arena;
 };
 
 } // namespace smthill

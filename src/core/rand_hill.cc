@@ -9,7 +9,8 @@ namespace smthill
 
 RandHill::RandHill(RandHillConfig config)
     : cfg(config), rng(cfg.seed),
-      pool(std::make_shared<ThreadPool>(cfg.jobs < 1 ? 1 : cfg.jobs))
+      pool(std::make_shared<ThreadPool>(cfg.jobs < 1 ? 1 : cfg.jobs)),
+      arena(std::make_shared<MachineArena>(pool->jobs()))
 {
     if (cfg.iterations < 1)
         fatal("RandHill: need at least one iteration");
@@ -50,7 +51,9 @@ RandHill::randomPartition(int threads, int total)
 OfflineEpoch
 RandHill::stepEpoch(SmtCpu &cpu)
 {
-    const SmtCpu checkpoint = cpu;
+    // One checkpoint capture per epoch; trials restore from it via
+    // the arena below.
+    const SmtCpu checkpoint = cpu; // smthill-lint: allow(cpu-copy-hot-path)
     const int nt = cpu.numThreads();
     const int total = cpu.config().intRegs;
 
@@ -78,10 +81,11 @@ RandHill::stepEpoch(SmtCpu &cpu)
         for (int k = 0; k < len; ++k)
             trials[k] =
                 trialPartition(anchor, k, cfg.delta, cfg.minShare);
-        pool->parallelFor(
-            static_cast<std::size_t>(len), [&](std::size_t k) {
-                samples[k] = runFixedPartitionEpoch(
-                    checkpoint, trials[k], cfg.epochSize);
+        pool->parallelForWorker(
+            static_cast<std::size_t>(len), [&](std::size_t k, int worker) {
+                SmtCpu &trial = arena->acquire(worker, checkpoint);
+                samples[k] =
+                    runTrialEpoch(trial, trials[k], cfg.epochSize);
                 metrics[k] =
                     evalMetric(cfg.metric, samples[k], cfg.singleIpc);
             });

@@ -66,6 +66,8 @@ class RandHill
     Rng rng;
     /** Round-trial pool, shared by copies of the learner. */
     std::shared_ptr<ThreadPool> pool;
+    /** Warm per-worker trial machines (see OfflineExhaustive). */
+    std::shared_ptr<MachineArena> arena;
 };
 
 } // namespace smthill

@@ -41,12 +41,15 @@ syncCompareOffline(SmtCpu cpu, const OfflineExhaustive &offline,
     }
 
     for (int e = 0; e < epochs; ++e) {
-        const SmtCpu checkpoint = cpu;
+        // One checkpoint capture per epoch, not per trial.
+        const SmtCpu checkpoint = cpu; // smthill-lint: allow(cpu-copy-hot-path)
 
         // Each policy runs one epoch from the shared checkpoint with
         // a fresh clone (its steady state re-forms within cycles).
+        // A handful of copies per epoch, each needing its own
+        // event-trace wiring, so the arena buys nothing here.
         for (std::size_t pi = 0; pi < policies.size(); ++pi) {
-            SmtCpu trial = checkpoint;
+            SmtCpu trial = checkpoint; // smthill-lint: allow(cpu-copy-hot-path)
             auto policy = policies[pi]->clone();
             // Clones drop any event-trace link (EventTraceRef), so
             // the per-epoch throwaway machines must be wired
@@ -107,8 +110,8 @@ traceHillVsOffline(SmtCpu cpu, HillClimbing &hill,
     hill.attach(cpu);
     for (int e = 0; e < epochs; ++e) {
         // Exhaustively map the epoch from the checkpoint, without
-        // letting it advance the real machine.
-        SmtCpu probe = cpu;
+        // letting it advance the real machine (one copy per epoch).
+        SmtCpu probe = cpu; // smthill-lint: allow(cpu-copy-hot-path)
         OfflineEpoch best = offline.stepEpoch(probe);
 
         HillTraceEpoch rec;

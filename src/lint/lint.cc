@@ -53,6 +53,14 @@ isLibraryPath(const std::vector<std::string> &parts)
     return std::find(parts.begin(), parts.end(), "src") != parts.end();
 }
 
+/** @return true if @p path has a `bench` component (hot loops). */
+bool
+isBenchPath(const std::vector<std::string> &parts)
+{
+    return std::find(parts.begin(), parts.end(), "bench") !=
+           parts.end();
+}
+
 /** @return the module dir under `src/`, or "" if not library code. */
 std::string
 srcModule(const std::vector<std::string> &parts)
@@ -306,6 +314,7 @@ class FileScanner
     void checkIncludeGuard();
     void checkDeterminismIdent(std::size_t i);
     void checkErrorHandlingIdent(std::size_t i);
+    void checkCpuCopyIdent(std::size_t i);
     void checkStatRegistration(std::size_t i);
     void checkSchemaField(std::size_t i);
 
@@ -419,6 +428,48 @@ FileScanner::checkErrorHandlingIdent(std::size_t i)
 }
 
 void
+FileScanner::checkCpuCopyIdent(std::size_t i)
+{
+    // A whole-machine SmtCpu copy costs tens of microseconds of
+    // allocation; the trial sweeps were rewritten to restore warm
+    // per-worker machines instead (core/machine_arena.hh). The rule
+    // guards library and bench code — the paths that run per trial
+    // or per iteration — so the copy cannot silently creep back in.
+    // Tests exercise checkpoint value semantics on purpose and are
+    // exempt, as is the checkpoint API itself.
+    if (!isLibraryPath(parts) && !isBenchPath(parts))
+        return;
+    if (endsWith(path, "core/machine_arena.cc") ||
+        endsWith(path, "core/machine_arena.hh"))
+        return;
+    if (!isIdent(i, "SmtCpu"))
+        return;
+    if (i + 1 >= lex.tokens.size() ||
+        lex.tokens[i + 1].kind != TokKind::Identifier)
+        return; // reference/pointer bindings and casts are fine
+
+    // Copy-init from an lvalue: `SmtCpu x = y;`. An initializer that
+    // keeps going (`machineFor(...)`, `y.clone()`) is a function
+    // result — materialized in place, no copy.
+    bool copyInit = isPunct(i + 2, '=') && i + 3 < lex.tokens.size() &&
+                    lex.tokens[i + 3].kind == TokKind::Identifier &&
+                    isPunct(i + 4, ';');
+    // Direct-init copy: `SmtCpu x(y);`. Multi-token argument lists
+    // are real constructor calls and do not match.
+    bool directInit = isPunct(i + 2, '(') &&
+                      i + 3 < lex.tokens.size() &&
+                      lex.tokens[i + 3].kind == TokKind::Identifier &&
+                      isPunct(i + 4, ')') && isPunct(i + 5, ';');
+    if (copyInit || directInit) {
+        report("cpu-copy-hot-path", lex.tokens[i].line,
+               "whole-machine SmtCpu copy; hot paths restore a warm "
+               "machine (MachineArena::acquire + SmtCpu::restoreFrom, "
+               "core/machine_arena.hh) instead of copy-constructing "
+               "per trial");
+    }
+}
+
+void
 FileScanner::checkStatRegistration(std::size_t i)
 {
     // globalStats().counter("name") / .gauge / .distribution
@@ -482,6 +533,7 @@ FileScanner::scanTokens()
             continue;
         checkDeterminismIdent(i);
         checkErrorHandlingIdent(i);
+        checkCpuCopyIdent(i);
         checkStatRegistration(i);
     }
     for (std::size_t i = 0; i < lex.tokens.size(); ++i)
@@ -643,7 +695,7 @@ ruleNames()
     return {
         "no-wall-clock",  "no-libc-random", "no-unordered-container",
         "stat-name",      "schema-field",   "error-handling",
-        "include-guard",  "layering",
+        "cpu-copy-hot-path", "include-guard", "layering",
     };
 }
 

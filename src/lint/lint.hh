@@ -30,6 +30,12 @@
  *  - error-handling:         no naked `new`/`delete`; no
  *                            `exit`/`abort` outside `common/log.cc`;
  *                            no `throw` in library code (`src/`)
+ *  - cpu-copy-hot-path:      no `SmtCpu x = y;` copy-construction in
+ *                            `src/` or `bench/` outside the
+ *                            checkpoint API (`core/machine_arena.*`);
+ *                            hot paths restore warm machines via
+ *                            `MachineArena::acquire` instead of
+ *                            paying the whole-machine copy per trial
  *  - include-guard:          every header opens with the canonical
  *                            `SMTHILL_<PATH>_HH` `#ifndef` guard
  *  - layering:               `src/` modules include only same-or-

@@ -114,6 +114,21 @@ SmtCpu::SmtCpu(const SmtConfig &config, std::vector<StreamGenerator> programs)
 }
 
 void
+SmtCpu::restoreFrom(const SmtCpu &checkpoint)
+{
+    // Plain member-wise assignment is the whole restore: vector
+    // assignment writes into existing storage when capacity suffices,
+    // so a warm machine of the same shape takes zero allocations.
+    // EventTraceRef's assignment drops the trace link by design.
+    *this = checkpoint;
+    tracer = nullptr;
+    branchObserver = nullptr;
+    branchObserverCtx = nullptr;
+    loadObserver = nullptr;
+    loadObserverCtx = nullptr;
+}
+
+void
 SmtCpu::setPartition(const Partition &partition)
 {
     if (partition.numThreads != cfg.numThreads)
@@ -249,8 +264,11 @@ SmtCpu::doCommit()
 {
     int budget = cfg.commitWidth;
     int nt = cfg.numThreads;
+    std::uint32_t next_tid = rrCommit;
     for (int i = 0; i < nt && budget > 0; ++i) {
-        ThreadId tid = (rrCommit + i) % nt;
+        ThreadId tid = static_cast<ThreadId>(next_tid);
+        if (++next_tid == static_cast<std::uint32_t>(nt))
+            next_tid = 0;
         ThreadState &t = threads[tid];
         while (budget > 0 && t.commitSeq < t.dispatchSeq) {
             Slot &s = slotOf(t, t.commitSeq);
@@ -283,26 +301,32 @@ SmtCpu::releaseResources(ThreadId tid, Slot &slot)
 {
     if (slot.holdsIntIq) {
         --occ.intIq[tid];
+        --occT.intIq;
         slot.holdsIntIq = false;
     }
     if (slot.holdsFpIq) {
         --occ.fpIq[tid];
+        --occT.fpIq;
         slot.holdsFpIq = false;
     }
     if (slot.holdsIntReg) {
         --occ.intRegs[tid];
+        --occT.intRegs;
         slot.holdsIntReg = false;
     }
     if (slot.holdsFpReg) {
         --occ.fpRegs[tid];
+        --occT.fpRegs;
         slot.holdsFpReg = false;
     }
     if (slot.holdsLsq) {
         --occ.lsq[tid];
+        --occT.lsq;
         slot.holdsLsq = false;
     }
     if (slot.holdsRob) {
         --occ.rob[tid];
+        --occT.rob;
         slot.holdsRob = false;
     }
 }
@@ -344,6 +368,7 @@ SmtCpu::complete(ThreadId tid, std::uint32_t slot_idx)
             // dependent can issue back-to-back with its producer.
             readyList.push_back(ReadyEntry{curCycle, d.fetchCycle, tid,
                                            dep.slot, d.genId});
+            readySorted = false;
         }
     }
     s.dependents.clear();
@@ -393,21 +418,27 @@ SmtCpu::doIssue()
     if (readyList.empty())
         return;
 
-    // Oldest-first issue across all threads.
-    std::sort(readyList.begin(), readyList.end(),
-              [](const ReadyEntry &a, const ReadyEntry &b) {
-                  if (a.age != b.age)
-                      return a.age < b.age;
-                  if (a.tid != b.tid)
-                      return a.tid < b.tid;
-                  return a.slot < b.slot;
-              });
+    // Oldest-first issue across all threads. (age, tid, slot) is a
+    // strict total order, so re-sorting an already-sorted list cannot
+    // change it — skip the sort unless a wakeup appended entries.
+    if (!readySorted) {
+        std::sort(readyList.begin(), readyList.end(),
+                  [](const ReadyEntry &a, const ReadyEntry &b) {
+                      if (a.age != b.age)
+                          return a.age < b.age;
+                      if (a.tid != b.tid)
+                          return a.tid < b.tid;
+                      return a.slot < b.slot;
+                  });
+        readySorted = true;
+    }
 
     int fu[FuPoolCount] = {cfg.intAddUnits, cfg.intMulUnits, cfg.memPorts,
                            cfg.fpAddUnits, cfg.fpMulUnits};
     int budget = cfg.issueWidth;
 
-    std::vector<ReadyEntry> remaining;
+    std::vector<ReadyEntry> &remaining = issueScratch;
+    remaining.clear();
     remaining.reserve(readyList.size());
 
     for (const ReadyEntry &e : readyList) {
@@ -430,10 +461,12 @@ SmtCpu::doIssue()
         ThreadId tid = e.tid;
         if (s.holdsIntIq) {
             --occ.intIq[tid];
+            --occT.intIq;
             s.holdsIntIq = false;
         }
         if (s.holdsFpIq) {
             --occ.fpIq[tid];
+            --occT.fpIq;
             s.holdsFpIq = false;
         }
 
@@ -477,6 +510,9 @@ SmtCpu::doIssue()
         events.push(CompletionEvent{s.completeCycle, tid, e.slot, s.genId});
     }
     readyList.swap(remaining);
+    // Keep the scratch (old readyList storage) empty so machine
+    // checkpoints don't copy stale entries; capacity is retained.
+    issueScratch.clear();
 }
 
 // --------------------------------------------------------------------
@@ -486,15 +522,23 @@ SmtCpu::doIssue()
 void
 SmtCpu::doDispatch()
 {
-    int budget = cfg.issueWidth;
     int nt = cfg.numThreads;
-    for (int i = 0; i < nt && budget > 0; ++i) {
-        ThreadId tid = (rrDispatch + i) % nt;
-        ThreadState &t = threads[tid];
-        while (budget > 0 && t.dispatchSeq < t.fetchSeq) {
-            if (!dispatchOne(tid))
-                break;
-            --budget;
+    // When the shared ROB is full no thread can dispatch anything —
+    // skip the per-thread attempts entirely (commit drains it first
+    // within the cycle, so this still fires on truly full cycles).
+    if (occT.rob < cfg.robSize) {
+        int budget = cfg.issueWidth;
+        std::uint32_t next_tid = rrDispatch;
+        for (int i = 0; i < nt && budget > 0; ++i) {
+            ThreadId tid = static_cast<ThreadId>(next_tid);
+            if (++next_tid == static_cast<std::uint32_t>(nt))
+                next_tid = 0;
+            ThreadState &t = threads[tid];
+            while (budget > 0 && t.dispatchSeq < t.fetchSeq) {
+                if (!dispatchOne(tid))
+                    break;
+                --budget;
+            }
         }
     }
     rrDispatch = (rrDispatch + 1) % nt;
@@ -508,21 +552,21 @@ SmtCpu::dispatchOne(ThreadId tid)
     Slot &s = slotOf(t, seq);
     const OpClass op = s.si.op;
 
-    // Shared-capacity checks.
-    if (occ.totalRob() >= cfg.robSize)
+    // Shared-capacity checks, against the running totals.
+    if (occT.rob >= cfg.robSize)
         return false;
     bool int_iq = usesIntIq(op);
-    if (int_iq && occ.totalIntIq() >= cfg.intIqSize)
+    if (int_iq && occT.intIq >= cfg.intIqSize)
         return false;
-    if (!int_iq && occ.totalFpIq() >= cfg.fpIqSize)
+    if (!int_iq && occT.fpIq >= cfg.fpIqSize)
         return false;
     bool int_reg = writesIntReg(op);
     bool fp_reg = writesFpReg(op);
-    if (int_reg && occ.totalIntRegs() >= cfg.intRegs)
+    if (int_reg && occT.intRegs >= cfg.intRegs)
         return false;
-    if (fp_reg && occ.totalFpRegs() >= cfg.fpRegs)
+    if (fp_reg && occT.fpRegs >= cfg.fpRegs)
         return false;
-    if (isMemOp(op) && occ.totalLsq() >= cfg.lsqSize)
+    if (isMemOp(op) && occT.lsq >= cfg.lsqSize)
         return false;
 
     // Partition-limit checks (Section 3.2: a thread may not consume
@@ -538,26 +582,33 @@ SmtCpu::dispatchOne(ThreadId tid)
 
     // Allocate.
     occ.ifq[tid] -= 1;
+    --occT.ifq;
     s.holdsRob = true;
     ++occ.rob[tid];
+    ++occT.rob;
     if (int_iq) {
         s.holdsIntIq = true;
         ++occ.intIq[tid];
+        ++occT.intIq;
     } else {
         s.holdsFpIq = true;
         ++occ.fpIq[tid];
+        ++occT.fpIq;
     }
     if (int_reg) {
         s.holdsIntReg = true;
         ++occ.intRegs[tid];
+        ++occT.intRegs;
     }
     if (fp_reg) {
         s.holdsFpReg = true;
         ++occ.fpRegs[tid];
+        ++occT.fpRegs;
     }
     if (isMemOp(op)) {
         s.holdsLsq = true;
         ++occ.lsq[tid];
+        ++occT.lsq;
     }
 
     s.state = SlotDispatched;
@@ -597,6 +648,7 @@ SmtCpu::linkDependences(ThreadId tid, InstSeq seq, Slot &slot)
         readyList.push_back(
             ReadyEntry{curCycle + 1, slot.fetchCycle, tid, my_idx,
                        slot.genId});
+        readySorted = false;
     }
 }
 
@@ -677,7 +729,7 @@ SmtCpu::doFetch()
             ++statCounters.partitionLockCycles[tid];
             continue;
         }
-        if (occ.totalIfq() >= cfg.ifqSize)
+        if (occT.ifq >= cfg.ifqSize)
             break;
 
         // One I-cache access per fetch group.
@@ -691,7 +743,7 @@ SmtCpu::doFetch()
         ++threads_used;
 
         while (fetched < cfg.fetchWidth) {
-            if (occ.totalIfq() >= cfg.ifqSize)
+            if (occT.ifq >= cfg.ifqSize)
                 break;
             if (partitionBlocked(tid))
                 break;
@@ -706,6 +758,7 @@ SmtCpu::doFetch()
             s.mispredicted = false;
 
             ++occ.ifq[tid];
+            ++occT.ifq;
             ++statCounters.fetched[tid];
             trace(TraceStage::Fetch, tid, s);
             ++t.fetchSeq;
@@ -753,8 +806,10 @@ SmtCpu::flushThreadAfter(ThreadId tid, InstSeq seq)
         Slot &s = slotOf(t, i);
         if (s.state == SlotFree)
             continue;
-        if (s.state == SlotFetched)
+        if (s.state == SlotFetched) {
             --occ.ifq[tid];
+            --occT.ifq;
+        }
         trace(TraceStage::Squash, tid, s);
         releaseResources(tid, s);
         s.state = SlotFree;

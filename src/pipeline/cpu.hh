@@ -99,6 +99,19 @@ class SmtCpu
      */
     SmtCpu(const SmtConfig &config, std::vector<StreamGenerator> programs);
 
+    /**
+     * Restore this machine to @p checkpoint's exact simulated state,
+     * reusing this machine's existing allocations (instruction rings,
+     * dependence vectors, cache arrays) instead of making fresh ones —
+     * the cheap path trial sweeps restore through instead of
+     * copy-constructing an SmtCpu per trial. The restored machine
+     * runs unobserved: tracer, branch/load observers, and the event
+     * trace link are all dropped, because trials replay concurrently
+     * and observation belongs to the committing machine (same
+     * semantics as runFixedPartitionEpoch's trial path).
+     */
+    void restoreFrom(const SmtCpu &checkpoint);
+
     /** Advance the machine by one cycle. */
     void step();
 
@@ -114,6 +127,7 @@ class SmtCpu
     const SmtConfig &config() const { return cfg; }
     const CpuStats &stats() const { return statCounters; }
     const Occupancy &occupancy() const { return occ; }
+    const OccupancyTotals &occupancyTotals() const { return occT; }
     const MemoryHierarchy &memory() const { return mem; }
 
     // --- Partition control (Section 3.1.2 / 3.2) -------------------
@@ -341,6 +355,7 @@ class SmtCpu
     Btb btb;
 
     Occupancy occ;
+    OccupancyTotals occT; ///< running sums of occ, kept in lockstep
     Partition curPartition;
     DerivedLimits limits;
     bool partitionOn = false;
@@ -352,6 +367,15 @@ class SmtCpu
     std::uint32_t rrCommit = 0;   ///< round-robin commit start
 
     std::vector<ReadyEntry> readyList;
+    /**
+     * True when readyList is in issue order. Issue filters the sorted
+     * list (order-preserving), so only wakeups dirty it; sorting the
+     * same strict total order (age, tid, slot) again would reproduce
+     * the identical sequence, making the skip bit-exact.
+     */
+    bool readySorted = true;
+    /** Scratch for doIssue's retained entries; cleared after use. */
+    std::vector<ReadyEntry> issueScratch;
     std::priority_queue<CompletionEvent, std::vector<CompletionEvent>,
                         std::greater<CompletionEvent>>
         events;

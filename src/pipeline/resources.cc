@@ -108,4 +108,18 @@ int Occupancy::totalRob() const { return sumOf(rob); }
 int Occupancy::totalLsq() const { return sumOf(lsq); }
 int Occupancy::totalIfq() const { return sumOf(ifq); }
 
+OccupancyTotals
+OccupancyTotals::of(const Occupancy &occ)
+{
+    OccupancyTotals t;
+    t.intIq = occ.totalIntIq();
+    t.fpIq = occ.totalFpIq();
+    t.intRegs = occ.totalIntRegs();
+    t.fpRegs = occ.totalFpRegs();
+    t.rob = occ.totalRob();
+    t.lsq = occ.totalLsq();
+    t.ifq = occ.totalIfq();
+    return t;
+}
+
 } // namespace smthill

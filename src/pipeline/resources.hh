@@ -89,6 +89,30 @@ struct Occupancy
     int totalIfq() const;
 };
 
+/**
+ * Machine-wide occupancy totals, maintained incrementally alongside
+ * the per-thread Occupancy counters. The dispatch and fetch stages
+ * test shared-capacity limits against these every attempt; keeping
+ * them as running sums removes the per-attempt re-summation of the
+ * per-thread arrays. Always recomputable from an Occupancy, which is
+ * what the invariant checker does to validate the increments.
+ */
+struct OccupancyTotals
+{
+    int intIq = 0;
+    int fpIq = 0;
+    int intRegs = 0;
+    int fpRegs = 0;
+    int rob = 0;
+    int lsq = 0;
+    int ifq = 0;
+
+    /** @return totals re-summed from scratch. */
+    static OccupancyTotals of(const Occupancy &occ);
+
+    bool operator==(const OccupancyTotals &) const = default;
+};
+
 } // namespace smthill
 
 #endif // SMTHILL_PIPELINE_RESOURCES_HH

@@ -1,6 +1,7 @@
 #include "trace/stream_generator.hh"
 
 #include <algorithm>
+#include <cmath>
 
 namespace smthill
 {
@@ -13,17 +14,70 @@ constexpr Addr kColdRegionBase = 0x4000'0000;
 constexpr Addr kColdRegionSpan = 0x2000'0000;
 constexpr int kMaxDepDist = 512;
 
+/**
+ * The period (in qualifying accesses) between deterministic misses
+ * with probability @p p, exactly as the per-instruction code used to
+ * compute it; 0 encodes "never" (p <= 0).
+ */
+std::uint32_t
+missPeriod(double p)
+{
+    if (p <= 0.0)
+        return 0;
+    auto period = static_cast<std::uint32_t>(1.0 / p + 0.5);
+    return std::max(1u, period);
+}
+
 } // namespace
+
+StreamGenerator::SharedTables::SharedTables(ProgramProfile p)
+    : prof(std::move(p))
+{
+    prof.validate();
+    const std::size_t nblocks = prof.blocks.size();
+    const std::size_t nphases = prof.phases.size();
+
+    blockPcs.reserve(nblocks);
+    for (std::uint32_t i = 0; i < nblocks; ++i)
+        blockPcs.push_back(prof.blockPc(i));
+
+    mixTotal.reserve(nblocks);
+    for (const BlockSpec &b : prof.blocks) {
+        const OpMix &m = b.mix;
+        mixTotal.push_back(m.intAlu + m.intMul + m.fpAlu + m.fpMul +
+                           m.load + m.store);
+    }
+
+    depLogDenom.reserve(nphases);
+    for (const PhaseSpec &ph : prof.phases) {
+        double prob = 1.0 / std::max(1, ph.meanDepDist);
+        // 0.0 marks the degenerate p >= 1 distribution (always 1).
+        depLogDenom.push_back(prob >= 1.0 ? 0.0 : std::log1p(-prob));
+    }
+
+    coldPeriod.reserve(nphases * nblocks);
+    warmPeriod.reserve(nphases * nblocks);
+    storePWarm.reserve(nphases * nblocks);
+    for (const PhaseSpec &ph : prof.phases) {
+        for (const BlockSpec &b : prof.blocks) {
+            const double bias = b.memBias;
+            coldPeriod.push_back(
+                missPeriod(std::min(0.95, ph.pLoadCold * bias)));
+            warmPeriod.push_back(
+                missPeriod(std::min(0.90, ph.pLoadWarm * bias)));
+            storePWarm.push_back(
+                std::min(0.5, (ph.pLoadWarm + ph.pLoadCold) * bias));
+        }
+    }
+}
 
 StreamGenerator::StreamGenerator(ProgramProfile profile,
                                  std::uint64_t stream_seed)
-    : prof(std::move(profile)),
-      rng(prof.seed * 0x2545'f491'4f6c'dd1dULL + stream_seed * 977 + 3)
+    : shared(std::make_shared<const SharedTables>(std::move(profile))),
+      rng(shared->prof.seed * 0x2545'f491'4f6c'dd1dULL +
+          stream_seed * 977 + 3)
 {
-    prof.validate();
-    blockPcs.reserve(prof.blocks.size());
-    for (std::uint32_t i = 0; i < prof.blocks.size(); ++i)
-        blockPcs.push_back(prof.blockPc(i));
+    const ProgramProfile &prof = shared->prof;
     loopTrip.assign(prof.blocks.size(), 0);
     coldTick.assign(prof.blocks.size(), 0);
     warmTick.assign(prof.blocks.size(), 0);
@@ -43,6 +97,7 @@ StreamGenerator::StreamGenerator(ProgramProfile profile,
 Addr
 StreamGenerator::nextWarmAddr()
 {
+    const ProgramProfile &prof = shared->prof;
     // Stride through the warm region a cache line at a time, like a
     // loop sweeping an L2-resident array: one pass during warm-up
     // makes the whole region L2-resident, after which every access is
@@ -59,6 +114,7 @@ StreamGenerator::tickPhase()
     ++emitted;
     ++sinceLastLoad;
     if (--phaseRemaining == 0) {
+        const ProgramProfile &prof = shared->prof;
         phaseIdx = (phaseIdx + 1) % prof.phases.size();
         phaseRemaining = prof.phases[phaseIdx].lengthInsts;
         burstRemaining = 0;
@@ -69,9 +125,7 @@ OpClass
 StreamGenerator::pickOp(const BlockSpec &block)
 {
     const OpMix &m = block.mix;
-    double total = m.intAlu + m.intMul + m.fpAlu + m.fpMul + m.load +
-                   m.store;
-    double r = rng.nextDouble() * total;
+    double r = rng.nextDouble() * shared->mixTotal[curBlock];
     if ((r -= m.load) < 0)
         return OpClass::Load;
     if ((r -= m.store) < 0)
@@ -88,7 +142,7 @@ StreamGenerator::pickOp(const BlockSpec &block)
 void
 StreamGenerator::assignDeps(SynthInst &inst, bool force_independent)
 {
-    const PhaseSpec &ph = prof.phases[phaseIdx];
+    const PhaseSpec &ph = shared->prof.phases[phaseIdx];
     if (force_independent) {
         // Clustered cache misses must be mutually independent so the
         // machine can overlap them; their address operands are ready.
@@ -96,11 +150,11 @@ StreamGenerator::assignDeps(SynthInst &inst, bool force_independent)
         inst.srcDist[1] = 0;
         return;
     }
+    const double dep_log_denom = shared->depLogDenom[phaseIdx];
     auto draw = [&]() -> std::int32_t {
         if (rng.chance(ph.serialFrac))
             return 1;
-        int d = rng.nextGeometric(1.0 / std::max(1, ph.meanDepDist),
-                                  kMaxDepDist);
+        int d = rng.nextGeometricLog(dep_log_denom, kMaxDepDist);
         return static_cast<std::int32_t>(d);
     };
     std::int32_t d0 = draw();
@@ -118,27 +172,26 @@ StreamGenerator::assignDeps(SynthInst &inst, bool force_independent)
 Addr
 StreamGenerator::pickLoadAddr(bool &is_burst_miss)
 {
+    const ProgramProfile &prof = shared->prof;
     const PhaseSpec &ph = prof.phases[phaseIdx];
-    const double bias = prof.blocks[curBlock].memBias;
     is_burst_miss = false;
 
     // Misses arrive *periodically* per block, the way strided loops
     // cross cache-line boundaries every Nth access — not as Bernoulli
     // noise. This keeps per-epoch miss rates stable, which is what
     // makes epoch-to-epoch performance feedback learnable
-    // (Section 3.3.1's hill shape).
+    // (Section 3.3.1's hill shape). The periods are constant per
+    // (phase, block) and precomputed in SharedTables.
+    const std::size_t pb = phaseBlockIdx(curBlock);
     bool cold = false;
-    double p_cold = std::min(0.95, ph.pLoadCold * bias);
-    double p_warm = std::min(0.90, ph.pLoadWarm * bias);
     if (burstRemaining > 0) {
         cold = true;
         --burstRemaining;
         is_burst_miss = true;
     } else {
-        if (p_cold > 0.0) {
-            auto period =
-                static_cast<std::uint32_t>(1.0 / p_cold + 0.5);
-            if (++coldTick[curBlock] >= std::max(1u, period)) {
+        const std::uint32_t cold_period = shared->coldPeriod[pb];
+        if (cold_period != 0) {
+            if (++coldTick[curBlock] >= cold_period) {
                 coldTick[curBlock] = 0;
                 cold = true;
                 if (ph.burstMax > 1 && rng.chance(ph.burstProb)) {
@@ -148,10 +201,10 @@ StreamGenerator::pickLoadAddr(bool &is_burst_miss)
                 }
             }
         }
-        if (!cold && p_warm > 0.0) {
-            auto period =
-                static_cast<std::uint32_t>(1.0 / p_warm + 0.5);
-            if (++warmTick[curBlock] >= std::max(1u, period)) {
+        if (!cold) {
+            const std::uint32_t warm_period = shared->warmPeriod[pb];
+            if (warm_period != 0 &&
+                ++warmTick[curBlock] >= warm_period) {
                 warmTick[curBlock] = 0;
                 return nextWarmAddr();
             }
@@ -175,14 +228,11 @@ StreamGenerator::pickLoadAddr(bool &is_burst_miss)
 Addr
 StreamGenerator::pickStoreAddr()
 {
+    const ProgramProfile &prof = shared->prof;
     // Stores mostly hit the hot region (stack/locals); their
     // propensity to touch the warm region mirrors the loads', so
     // cache-quiet (ILP) programs stay quiet on the store side too.
-    const PhaseSpec &ph = prof.phases[phaseIdx];
-    double p_warm = std::min(
-        0.5, (ph.pLoadWarm + ph.pLoadCold) *
-                 prof.blocks[curBlock].memBias);
-    if (rng.chance(p_warm))
+    if (rng.chance(shared->storePWarm[phaseBlockIdx(curBlock)]))
         return nextWarmAddr();
     Addr off =
         rng.nextBelow(std::max<std::uint64_t>(prof.hotBytes, 64)) & ~Addr{7};
@@ -192,10 +242,11 @@ StreamGenerator::pickStoreAddr()
 SynthInst
 StreamGenerator::next()
 {
+    const ProgramProfile &prof = shared->prof;
     const BlockSpec &block = prof.blocks[curBlock];
     SynthInst inst;
     inst.blockId = curBlock;
-    inst.pc = blockPcs[curBlock] + Addr{posInBlock} * 4;
+    inst.pc = shared->blockPcs[curBlock] + Addr{posInBlock} * 4;
 
     if (posInBlock < block.length) {
         inst.op = pickOp(block);
@@ -238,7 +289,7 @@ StreamGenerator::next()
         next_block = block.fallTarget;
         break;
     }
-    inst.target = blockPcs[next_block];
+    inst.target = shared->blockPcs[next_block];
 
     // A branch often tests a recently computed value; with some
     // probability that value is the most recent load, which makes the

@@ -3,16 +3,25 @@
  * Deterministic synthetic instruction stream generator.
  *
  * A StreamGenerator walks a ProgramProfile's CFG and emits SynthInst
- * records one at a time. All of its state is held by value, so a copy
- * of a generator resumes the stream at exactly the same point — this
- * is what lets the SMT core checkpoint whole machines for OFF-LINE
- * exhaustive learning and RAND-HILL.
+ * records one at a time. All of its *mutable* state is held by value,
+ * so a copy of a generator resumes the stream at exactly the same
+ * point — this is what lets the SMT core checkpoint whole machines for
+ * OFF-LINE exhaustive learning and RAND-HILL.
+ *
+ * The profile and everything derived from it (block PCs, op-mix
+ * normalizers, per-phase dependence-distance log-denominators, the
+ * per-phase x per-block miss periods) are immutable after
+ * construction, so they live behind a shared_ptr: checkpointing a
+ * machine bumps a refcount instead of copying kilobytes of constant
+ * tables, and trial machines on pool workers read them concurrently
+ * without synchronization.
  */
 
 #ifndef SMTHILL_TRACE_STREAM_GENERATOR_HH
 #define SMTHILL_TRACE_STREAM_GENERATOR_HH
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/rng.hh"
@@ -28,7 +37,8 @@ class StreamGenerator
 {
   public:
     /**
-     * @param profile the benchmark description (copied in)
+     * @param profile the benchmark description (moved into shared,
+     *        immutable storage)
      * @param stream_seed extra seed entropy (e.g., the thread id) so
      *        two instances of the same benchmark do not emit
      *        identical streams
@@ -43,12 +53,35 @@ class StreamGenerator
     std::uint64_t emittedCount() const { return emitted; }
 
     /** @return the profile driving this stream. */
-    const ProgramProfile &profile() const { return prof; }
+    const ProgramProfile &profile() const { return shared->prof; }
 
     /** @return index of the currently active phase. */
     std::size_t currentPhase() const { return phaseIdx; }
 
   private:
+    /**
+     * Immutable per-profile tables, precomputed once and shared by
+     * every copy of the generator. Each entry caches a value the old
+     * code recomputed per emitted instruction with the exact same
+     * expression, so the emitted stream is bit-identical.
+     */
+    struct SharedTables
+    {
+        ProgramProfile prof;
+        std::vector<Addr> blockPcs;    ///< precomputed block start PCs
+        std::vector<double> mixTotal;  ///< per-block op-mix sum
+        /** per-phase log1p(-1/meanDepDist); 0.0 = degenerate p>=1. */
+        std::vector<double> depLogDenom;
+        /** per-phase x per-block cold-miss period; 0 = never cold. */
+        std::vector<std::uint32_t> coldPeriod;
+        /** per-phase x per-block warm-miss period; 0 = never warm. */
+        std::vector<std::uint32_t> warmPeriod;
+        /** per-phase x per-block store warm-region probability. */
+        std::vector<double> storePWarm;
+
+        explicit SharedTables(ProgramProfile p);
+    };
+
     /** Advance the phase schedule by one emitted instruction. */
     void tickPhase();
 
@@ -67,8 +100,14 @@ class StreamGenerator
     /** Advance the strided warm-region pointer and return it. */
     Addr nextWarmAddr();
 
-    ProgramProfile prof;
-    std::vector<Addr> blockPcs;   ///< precomputed block start PCs
+    /** @return index into the per-phase x per-block tables. */
+    std::size_t
+    phaseBlockIdx(std::uint32_t block) const
+    {
+        return phaseIdx * shared->prof.blocks.size() + block;
+    }
+
+    std::shared_ptr<const SharedTables> shared;
     std::vector<std::uint32_t> loopTrip; ///< per-block live trip count
     std::vector<std::uint32_t> coldTick; ///< per-block cold-miss phase
     std::vector<std::uint32_t> warmTick; ///< per-block warm-miss phase

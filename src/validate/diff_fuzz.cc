@@ -402,8 +402,10 @@ stageOfflineJobs(const FuzzCase &c, FuzzResult &r, const SmtCpu &warm)
     oc.jobs = 3;
     OfflineExhaustive parallel(oc);
 
-    SmtCpu a = warm;
-    SmtCpu b = warm;
+    // Two deliberate value-semantics clones per fuzz case; the
+    // divergence check depends on them being full copies.
+    SmtCpu a = warm; // smthill-lint: allow(cpu-copy-hot-path)
+    SmtCpu b = warm; // smthill-lint: allow(cpu-copy-hot-path)
     for (int e = 0; e < 2; ++e) {
         OfflineEpoch ea = serial.stepEpoch(a);
         OfflineEpoch eb = parallel.stepEpoch(b);

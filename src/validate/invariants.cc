@@ -144,6 +144,35 @@ InvariantChecker::checkOccupancyCapacity(const Occupancy &occ,
 }
 
 void
+InvariantChecker::checkOccupancyTotals(const Occupancy &occ,
+                                       const OccupancyTotals &totals)
+{
+    const OccupancyTotals fresh = OccupancyTotals::of(occ);
+    struct Pair
+    {
+        const char *name;
+        int cached;
+        int summed;
+    };
+    const Pair pairs[] = {
+        {"int_iq", totals.intIq, fresh.intIq},
+        {"fp_iq", totals.fpIq, fresh.fpIq},
+        {"int_regs", totals.intRegs, fresh.intRegs},
+        {"fp_regs", totals.fpRegs, fresh.fpRegs},
+        {"rob", totals.rob, fresh.rob},
+        {"lsq", totals.lsq, fresh.lsq},
+        {"ifq", totals.ifq, fresh.ifq},
+    };
+    for (const Pair &p : pairs) {
+        if (p.cached != p.summed) {
+            report("occupancy.totals",
+                   msg(p.name, " running total ", p.cached,
+                       " != per-thread sum ", p.summed));
+        }
+    }
+}
+
+void
 InvariantChecker::checkOccupancyLimits(const Occupancy &occ,
                                        const DerivedLimits &limits,
                                        int num_threads)
@@ -372,6 +401,7 @@ void
 InvariantChecker::checkCpu(const SmtCpu &cpu)
 {
     checkOccupancyCapacity(cpu.occupancy(), cpu.config());
+    checkOccupancyTotals(cpu.occupancy(), cpu.occupancyTotals());
     if (cpu.partitioningEnabled()) {
         checkPartitionShape(cpu.partition(), cpu.numThreads(),
                             cpu.config().intRegs);

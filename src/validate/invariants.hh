@@ -113,6 +113,15 @@ class InvariantChecker
                                 const SmtConfig &config);
 
     /**
+     * The incrementally maintained machine-wide totals equal a fresh
+     * re-summation of the per-thread counters (the pipeline updates
+     * both at every allocate/release site; a drifted total means a
+     * missed update).
+     */
+    void checkOccupancyTotals(const Occupancy &occ,
+                              const OccupancyTotals &totals);
+
+    /**
      * Strict per-thread partition caps: occupancy of every
      * partitioned structure is within DerivedLimits. Use only on
      * state known to be past any re-partition transient.

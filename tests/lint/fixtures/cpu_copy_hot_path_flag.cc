@@ -1,0 +1,24 @@
+// Must-flag fixture for rule `cpu-copy-hot-path`: copy-constructing
+// a whole SmtCpu per trial pays the full allocation tax the machine
+// arena exists to avoid. Both the copy-init and the single-argument
+// direct-init spellings must surface.
+#include "pipeline/cpu.hh"
+
+namespace smthill
+{
+
+double
+sweepTrials(const SmtCpu &checkpoint, int n)
+{
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i) {
+        SmtCpu trial = checkpoint;
+        trial.run(1024);
+        sum += static_cast<double>(trial.stats().committedTotal());
+    }
+    SmtCpu probe(checkpoint);
+    probe.run(64);
+    return sum;
+}
+
+} // namespace smthill

@@ -1,0 +1,32 @@
+// Must-pass fixture for rule `cpu-copy-hot-path`: reference
+// bindings, real constructor calls, materialized function results,
+// and arena restores are all legal ways to get at a machine.
+#include <utility>
+#include <vector>
+
+#include "core/machine_arena.hh"
+#include "pipeline/cpu.hh"
+
+namespace smthill
+{
+
+SmtCpu makeMachine(const SmtConfig &cfg);
+
+double
+sweepTrials(MachineArena &arena, const SmtCpu &checkpoint, int n)
+{
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i) {
+        SmtCpu &trial = arena.acquire(0, checkpoint);
+        trial.run(1024);
+        sum += static_cast<double>(trial.stats().committedTotal());
+    }
+    SmtConfig cfg;
+    std::vector<StreamGenerator> gens;
+    SmtCpu fresh(cfg, std::move(gens));
+    SmtCpu built = makeMachine(cfg);
+    built.restoreFrom(checkpoint);
+    return sum;
+}
+
+} // namespace smthill

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Checkpoint/restore equivalence: SmtCpu::restoreFrom into a warm
+ * machine must replay bit-identically to a fresh value copy of the
+ * same checkpoint, across stats, occupancy, memory state, and the
+ * cached occupancy totals — including when the target machine is
+ * differently shaped or has advanced far past the checkpoint. The
+ * MachineArena reuse path (the OFF-LINE/RAND-HILL trial sweeps) gets
+ * the same treatment across multiple rounds.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/machine_arena.hh"
+#include "core/offline_exhaustive.hh"
+#include "pipeline/cpu.hh"
+#include "trace/spec_profiles.hh"
+#include "validate/invariants.hh"
+
+namespace smthill
+{
+namespace
+{
+
+SmtCpu
+makeMachine(const std::vector<const char *> &benches)
+{
+    SmtConfig cfg;
+    cfg.numThreads = static_cast<int>(benches.size());
+    std::vector<StreamGenerator> gens;
+    for (std::size_t i = 0; i < benches.size(); ++i)
+        gens.emplace_back(specProfile(benches[i]), i);
+    return SmtCpu(cfg, std::move(gens));
+}
+
+/** Every externally visible counter the two paths must agree on. */
+void
+expectMachinesEqual(const SmtCpu &a, const SmtCpu &b)
+{
+    ASSERT_EQ(a.numThreads(), b.numThreads());
+    EXPECT_EQ(a.now(), b.now());
+    for (int i = 0; i < a.numThreads(); ++i) {
+        EXPECT_EQ(a.stats().committed[i], b.stats().committed[i])
+            << "thread " << i;
+        EXPECT_EQ(a.stats().fetched[i], b.stats().fetched[i])
+            << "thread " << i;
+        EXPECT_EQ(a.stats().flushed[i], b.stats().flushed[i])
+            << "thread " << i;
+        EXPECT_EQ(a.stats().mispredicts[i], b.stats().mispredicts[i])
+            << "thread " << i;
+        EXPECT_EQ(a.stats().loads[i], b.stats().loads[i])
+            << "thread " << i;
+    }
+    EXPECT_EQ(a.memory().dl1().misses(), b.memory().dl1().misses());
+    EXPECT_EQ(a.memory().ul2().misses(), b.memory().ul2().misses());
+    EXPECT_EQ(OccupancyTotals::of(a.occupancy()),
+              OccupancyTotals::of(b.occupancy()));
+    EXPECT_EQ(a.occupancyTotals(), b.occupancyTotals());
+}
+
+TEST(CheckpointRestore, RoundTripMatchesValueCopy)
+{
+    SmtCpu cpu = makeMachine({"art", "mcf"});
+    cpu.run(50000);
+    const SmtCpu checkpoint = cpu;
+
+    // Reference path: a fresh value copy.
+    SmtCpu viaCopy = checkpoint;
+    viaCopy.run(30000);
+
+    // Restore path: a machine that has advanced well past the
+    // checkpoint, pulled back by restoreFrom.
+    SmtCpu warm = checkpoint;
+    warm.run(40000);
+    warm.restoreFrom(checkpoint);
+    expectMachinesEqual(warm, checkpoint);
+    warm.run(30000);
+
+    expectMachinesEqual(viaCopy, warm);
+}
+
+TEST(CheckpointRestore, RestoreIntoDifferentlyShapedMachine)
+{
+    SmtCpu cpu = makeMachine({"art", "mcf"});
+    cpu.run(30000);
+    const SmtCpu checkpoint = cpu;
+
+    SmtCpu reference = checkpoint;
+    reference.run(20000);
+
+    // A 4-thread machine with different profiles: restoreFrom is a
+    // full overwrite, so the shape mismatch must not matter.
+    SmtCpu other = makeMachine({"gcc", "bzip2", "fma3d", "mesa"});
+    other.run(10000);
+    other.restoreFrom(checkpoint);
+    ASSERT_EQ(other.numThreads(), 2);
+    other.run(20000);
+
+    expectMachinesEqual(reference, other);
+}
+
+TEST(CheckpointRestore, RestorePreservesPartitionReplay)
+{
+    SmtCpu cpu = makeMachine({"art", "mcf"});
+    cpu.run(30000);
+    const SmtCpu checkpoint = cpu;
+
+    Partition p;
+    p.numThreads = 2;
+    p.share[0] = 96;
+    p.share[1] = cpu.config().intRegs - 96;
+
+    SmtCpu viaCopy = checkpoint;
+    IpcSample a = runTrialEpoch(viaCopy, p, 16 * 1024);
+
+    SmtCpu warm = checkpoint;
+    warm.run(25000); // diverge, then pull back
+    warm.restoreFrom(checkpoint);
+    IpcSample b = runTrialEpoch(warm, p, 16 * 1024);
+
+    for (int i = 0; i < 2; ++i)
+        EXPECT_EQ(a.ipc[i], b.ipc[i]) << "thread " << i;
+    expectMachinesEqual(viaCopy, warm);
+}
+
+TEST(CheckpointRestore, ArenaReuseStaysBitIdenticalAcrossRounds)
+{
+    SmtCpu cpu = makeMachine({"art", "mcf"});
+    cpu.run(50000);
+    const SmtCpu checkpoint = cpu;
+
+    Partition p = Partition::equal(2, cpu.config().intRegs);
+
+    SmtCpu reference = checkpoint;
+    IpcSample want = runTrialEpoch(reference, p, 8 * 1024);
+
+    MachineArena arena(2);
+    EXPECT_EQ(arena.workers(), 2);
+    for (int round = 0; round < 3; ++round) {
+        for (int w = 0; w < arena.workers(); ++w) {
+            SmtCpu &trial = arena.acquire(w, checkpoint);
+            IpcSample got = runTrialEpoch(trial, p, 8 * 1024);
+            for (int i = 0; i < 2; ++i) {
+                EXPECT_EQ(want.ipc[i], got.ipc[i])
+                    << "round " << round << " worker " << w
+                    << " thread " << i;
+            }
+            expectMachinesEqual(reference, trial);
+        }
+    }
+}
+
+TEST(CheckpointRestore, InvariantsHoldAfterRestore)
+{
+    SmtCpu cpu = makeMachine({"art", "mcf", "gcc", "bzip2"});
+    cpu.run(40000);
+    const SmtCpu checkpoint = cpu;
+
+    SmtCpu warm = checkpoint;
+    warm.run(12345); // land mid-flight, queues populated
+    warm.restoreFrom(checkpoint);
+    InvariantChecker chk;
+    chk.checkCpu(warm);
+    warm.run(7777);
+    chk.checkCpu(warm);
+    EXPECT_TRUE(chk.ok()) << chk.summary();
+    EXPECT_EQ(OccupancyTotals::of(warm.occupancy()),
+              warm.occupancyTotals());
+}
+
+} // namespace
+} // namespace smthill

@@ -83,11 +83,12 @@ expectClean(const std::string &name, const std::string &path)
 TEST(Lint, RuleCatalog)
 {
     std::vector<std::string> rules = lint::ruleNames();
-    EXPECT_EQ(rules.size(), 8u);
+    EXPECT_EQ(rules.size(), 9u);
     for (const char *rule : {"no-wall-clock", "no-libc-random",
                              "no-unordered-container", "stat-name",
                              "schema-field", "error-handling",
-                             "include-guard", "layering"}) {
+                             "cpu-copy-hot-path", "include-guard",
+                             "layering"}) {
         EXPECT_NE(std::find(rules.begin(), rules.end(), rule),
                   rules.end())
             << rule;
@@ -188,6 +189,43 @@ TEST(Lint, ErrorHandlingFixtures)
         "tests/fixture_throw.cc",
         "void f() { throw 1; }\n");
     EXPECT_TRUE(inTests.empty());
+}
+
+TEST(Lint, CpuCopyHotPathFixtures)
+{
+    expectFlagged("cpu_copy_hot_path_flag.cc",
+                  "src/fixture/cpu_copy_hot_path_flag.cc",
+                  "cpu-copy-hot-path");
+    expectClean("cpu_copy_hot_path_pass.cc",
+                "src/fixture/cpu_copy_hot_path_pass.cc");
+
+    // Copy-init and direct-init both surface.
+    EXPECT_EQ(lintFixture("cpu_copy_hot_path_flag.cc",
+                          "src/fixture/cpu_copy_hot_path_flag.cc")
+                  .size(),
+              2u);
+
+    // Bench loops are hot paths too; tests keep checkpoint value
+    // semantics on purpose and are exempt, as is the arena itself.
+    expectFlagged("cpu_copy_hot_path_flag.cc",
+                  "bench/cpu_copy_hot_path_flag.cc",
+                  "cpu-copy-hot-path");
+    EXPECT_TRUE(lintFixture("cpu_copy_hot_path_flag.cc",
+                            "tests/cpu_copy_hot_path_flag.cc")
+                    .empty());
+    EXPECT_TRUE(lintFixture("cpu_copy_hot_path_flag.cc",
+                            "src/core/machine_arena.cc")
+                    .empty());
+
+    // The intentional copies that remain (one checkpoint capture per
+    // epoch, the checkpoint microbench) carry allow() comments.
+    std::vector<Finding> suppressed = lint::lintFile(
+        "src/fixture/allowed.cc",
+        "void f(const SmtCpu &cpu) {\n"
+        "    // smthill-lint: allow(cpu-copy-hot-path)\n"
+        "    SmtCpu checkpoint = cpu;\n"
+        "}\n");
+    EXPECT_TRUE(suppressed.empty());
 }
 
 TEST(Lint, IncludeGuardFixtures)
