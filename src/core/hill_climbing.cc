@@ -71,8 +71,39 @@ HillClimbing::attach(SmtCpu &cpu)
     sampleRotation = 0;
     samplingThread = -1;
     bootstrapPending = 0;
+    roundPos = 0;
+    roundDirty = false;
+    needsSolo.fill(false);
+    residentAccum.fill(0);
+    residentFrom.fill(cpu.now());
+    int na = 0;
+    for (int i = 0; i < nt; ++i) {
+        activeMask[i] = cpu.threadEnabled(static_cast<ThreadId>(i));
+        na += activeMask[i] ? 1 : 0;
+    }
+    openSystemMode = na < nt;
     for (int i = 0; i < nt; ++i)
         cpu.setFetchLocked(static_cast<ThreadId>(i), false);
+
+    if (openSystemMode) {
+        // Attached over a partially occupied (or empty) machine: the
+        // anchor covers only the active set, and solo bootstrapping is
+        // driven per-context through needsSolo as jobs arrive rather
+        // than by the closed-system chain below.
+        anchorPartition =
+            redistributeDetached(anchorPartition, activeMask, cfg.minShare);
+        if (cfg.sampleSingleIpc && needsSingleIpc())
+            for (int i = 0; i < nt; ++i)
+                needsSolo[i] = activeMask[i];
+        int pending = na > 1 ? nextNeedsSolo() : -1;
+        if (pending >= 0)
+            beginSample(cpu, pending);
+        else if (na > 1)
+            installTrial(cpu);
+        else
+            cpu.clearPartition();
+        return;
+    }
 
     // Bootstrap the stand-alone IPC estimates (Section 4.2): before
     // any estimate exists, WIPC/HWIPC degenerate into raw-IPC
@@ -85,6 +116,156 @@ HillClimbing::attach(SmtCpu &cpu)
         sampleRotation = 1 % nt;
     } else {
         installTrial(cpu);
+    }
+}
+
+int
+HillClimbing::numActive(int nt) const
+{
+    int na = 0;
+    for (int i = 0; i < nt; ++i)
+        na += activeMask[i] ? 1 : 0;
+    return na;
+}
+
+int
+HillClimbing::activeAt(int k) const
+{
+    for (int i = 0; i < anchorPartition.numThreads; ++i) {
+        if (!activeMask[i])
+            continue;
+        if (k-- == 0)
+            return i;
+    }
+    fatal(msg("activeAt: no active thread at index ", k));
+    return -1;
+}
+
+int
+HillClimbing::nextNeedsSolo() const
+{
+    for (int i = 0; i < anchorPartition.numThreads; ++i)
+        if (activeMask[i] && needsSolo[i])
+            return i;
+    return -1;
+}
+
+int
+HillClimbing::nextActiveFrom(int start, int nt) const
+{
+    for (int k = 0; k < nt; ++k) {
+        int i = (start + k) % nt;
+        if (activeMask[i])
+            return i;
+    }
+    return start;
+}
+
+double
+HillClimbing::evalActiveMetric(const IpcSample &sample) const
+{
+    if (!openSystemMode)
+        return evalMetric(cfg.metric, sample, singleIpcEst);
+    return evalMetricMasked(cfg.metric, sample, singleIpcEst, activeMask);
+}
+
+void
+HillClimbing::threadAttached(SmtCpu &cpu, ThreadId tid)
+{
+    int nt = cpu.numThreads();
+    openSystemMode = true;
+    activeMask[tid] = true;
+    residentAccum[tid] = 0;
+    residentFrom[tid] = cpu.now();
+    lastCommitted[tid] = cpu.stats().committed[tid];
+    // A reused context must not learn on the previous occupant's
+    // stand-alone IPC: zero the estimate and queue a solo
+    // re-bootstrap sample for the new job.
+    singleIpcEst[tid] = 0.0;
+    roundPerf[tid] = 0.0;
+    needsSolo[tid] = cfg.sampleSingleIpc && needsSingleIpc();
+    // When the last job departed, redistributeDetached freed every
+    // share into the void (no survivor to receive them) and the
+    // anchor's total dropped to zero. admitAttached conserves the
+    // total it is given, so without re-seeding the first arrival
+    // after a drain would inherit — and once a second job lands,
+    // install — an all-zero partition that starves every context.
+    if (anchorPartition.total() == 0)
+        anchorPartition.share[tid] = cpu.config().intRegs;
+    anchorPartition =
+        admitAttached(anchorPartition, activeMask, tid, cfg.minShare);
+    // The round in flight compared trials over the old active set;
+    // start over.
+    roundPos = 0;
+    roundDirty = true;
+    roundStart = cpu.now();
+
+    if (samplingThread >= 0 && samplingThread != static_cast<int>(tid)) {
+        // A solo sample is in flight: the newcomer waits disabled
+        // until it ends so the sample stays clean.
+        cpu.setThreadEnabled(tid, false);
+    } else if (numActive(nt) >= 2) {
+        cpu.setPartition(anchorPartition);
+    } else {
+        cpu.clearPartition();
+    }
+    if (EventTrace *evt = eventTraceRef.trace) {
+        Json args = Json::object();
+        args.set("thread", static_cast<int>(tid));
+        args.set("anchor", shareJson(anchorPartition));
+        evt->instant(cpu.now(), eventTraceRef.pid, kControlTid, "hill",
+                     "churn.attach", std::move(args));
+    }
+}
+
+void
+HillClimbing::threadDetached(SmtCpu &cpu, ThreadId tid)
+{
+    int nt = cpu.numThreads();
+    openSystemMode = true;
+    if (activeMask[tid]) {
+        Cycle from = std::max(residentFrom[tid], lastEpochStart);
+        residentAccum[tid] += cpu.now() > from ? cpu.now() - from : 0;
+    }
+    activeMask[tid] = false;
+    needsSolo[tid] = false;
+    anchorPartition =
+        redistributeDetached(anchorPartition, activeMask, cfg.minShare);
+    roundPos = 0;
+    roundDirty = true;
+    roundStart = cpu.now();
+
+    if (samplingThread == static_cast<int>(tid)) {
+        // The thread running solo departed mid-sample: abandon it.
+        samplingThread = -1;
+        if (bootstrapPending > 0) {
+            // Closed-system bootstrap chain interrupted by churn;
+            // fall back to per-context re-bootstrap for whichever
+            // active threads still lack an estimate.
+            bootstrapPending = 0;
+            if (cfg.sampleSingleIpc && needsSingleIpc())
+                for (int i = 0; i < nt; ++i)
+                    if (activeMask[i] && singleIpcEst[i] <= 0.0)
+                        needsSolo[i] = true;
+        }
+        for (int i = 0; i < nt; ++i)
+            cpu.setThreadEnabled(static_cast<ThreadId>(i), activeMask[i]);
+    }
+    if (samplingThread < 0) {
+        // Re-feasibility on detach: the freed shares are already
+        // redistributed into the anchor; install it now rather than
+        // letting the survivors run capped until the next boundary.
+        if (numActive(nt) >= 2)
+            cpu.setPartition(anchorPartition);
+        else
+            cpu.clearPartition();
+    }
+    if (EventTrace *evt = eventTraceRef.trace) {
+        Json args = Json::object();
+        args.set("thread", static_cast<int>(tid));
+        args.set("anchor", shareJson(anchorPartition));
+        evt->instant(cpu.now(), eventTraceRef.pid, kControlTid, "hill",
+                     "churn.detach", std::move(args));
     }
 }
 
@@ -103,8 +284,24 @@ HillClimbing::measureEpoch(const SmtCpu &cpu)
     lastElapsed = now > lastEpochStart ? now - lastEpochStart : 1;
     const auto &committed = cpu.stats().committed;
     for (int i = 0; i < s.numThreads; ++i) {
+        Cycle resident = lastElapsed;
+        if (openSystemMode) {
+            // Partial residency (the job attached or departed inside
+            // this window) must not be charged as full residency: the
+            // divisor is the cycles the context actually held a job.
+            resident = residentAccum[i];
+            if (activeMask[i]) {
+                Cycle from = std::max(residentFrom[i], lastEpochStart);
+                resident += now > from ? now - from : 0;
+            }
+            resident = std::min(resident, lastElapsed);
+            if (resident == 0) {
+                s.ipc[i] = 0.0;
+                continue;
+            }
+        }
         s.ipc[i] = static_cast<double>(committed[i] - lastCommitted[i]) /
-                   static_cast<double>(lastElapsed);
+                   static_cast<double>(resident);
     }
     return s;
 }
@@ -136,6 +333,11 @@ HillClimbing::chargeBoundary(SmtCpu &cpu)
     cpu.stallUntil(cpu.now() + cfg.softwareCost);
     lastCommitted = cpu.stats().committed;
     lastEpochStart = cpu.now() + cfg.softwareCost;
+    if (openSystemMode) {
+        residentAccum.fill(0);
+        for (int i = 0; i < cpu.numThreads(); ++i)
+            residentFrom[i] = lastEpochStart;
+    }
 }
 
 bool
@@ -152,7 +354,20 @@ void
 HillClimbing::installTrial(SmtCpu &cpu)
 {
     int nt = cpu.numThreads();
-    int favored = static_cast<int>(algEpoch % nt);
+    int favored;
+    if (openSystemMode) {
+        int na = numActive(nt);
+        if (na < 2) {
+            // Nothing to partition: 0 or 1 jobs resident.
+            cpu.clearPartition();
+            return;
+        }
+        favored = activeAt(roundPos % na);
+    } else {
+        // Closed system: roundPos tracks algEpoch % nt exactly; keep
+        // the Figure 8 indexing verbatim.
+        favored = static_cast<int>(algEpoch % nt);
+    }
     Partition trial =
         trialPartition(anchorPartition, favored, cfg.delta, cfg.minShare);
     cpu.setPartition(trial);
@@ -203,6 +418,10 @@ void
 HillClimbing::epoch(SmtCpu &cpu, std::uint64_t epoch_id)
 {
     int nt = cpu.numThreads();
+    int na = numActive(nt);
+    // Consume the churn flag: it covers the epoch that just ended.
+    bool dirty = roundDirty;
+    roundDirty = false;
     IpcSample sample = measureEpoch(cpu);
     // The partition the finished epoch actually ran under.
     Partition ran = cpu.partition();
@@ -228,6 +447,7 @@ HillClimbing::epoch(SmtCpu &cpu, std::uint64_t epoch_id)
         // multithreaded execution without consuming a learning epoch.
         int sampled = samplingThread;
         singleIpcEst[sampled] = sample.ipc[sampled];
+        needsSolo[sampled] = false;
         if (evt) {
             Json args = Json::object();
             args.set("thread", sampled);
@@ -246,8 +466,16 @@ HillClimbing::epoch(SmtCpu &cpu, std::uint64_t epoch_id)
         } else {
             samplingThread = -1;
             for (int i = 0; i < nt; ++i)
-                cpu.setThreadEnabled(static_cast<ThreadId>(i), true);
-            installTrial(cpu);
+                cpu.setThreadEnabled(static_cast<ThreadId>(i),
+                                     !openSystemMode || activeMask[i]);
+            int pending = na > 1 ? nextNeedsSolo() : -1;
+            if (pending >= 0) {
+                // Churn queued more re-bootstrap samples; chain them
+                // like the attach-time bootstrap.
+                beginSample(cpu, pending);
+            } else {
+                installTrial(cpu);
+            }
         }
         traceEpoch(cpu, epoch_id, sample, ran, ran_partitioned,
                    sample.ipc[sampled], sampled, -1, false);
@@ -255,24 +483,64 @@ HillClimbing::epoch(SmtCpu &cpu, std::uint64_t epoch_id)
         return;
     }
 
-    // Figure 8 line 7: record the performance of the previous epoch.
-    double perf = evalMetric(cfg.metric, sample, singleIpcEst);
-    roundPerf[algEpoch % nt] = perf;
+    if (openSystemMode && na <= 1) {
+        // Nothing to learn with 0 or 1 jobs resident — but a full,
+        // churn-free solo stretch doubles as a free SingleIPC sample
+        // for the lone job.
+        double perf = evalActiveMetric(sample);
+        int sampled = -1;
+        if (na == 1) {
+            int lone = activeAt(0);
+            if (needsSolo[lone] && !dirty && !cpu.partitioningEnabled()) {
+                singleIpcEst[lone] = sample.ipc[lone];
+                needsSolo[lone] = false;
+                sampled = lone;
+                if (evt) {
+                    Json args = Json::object();
+                    args.set("thread", lone);
+                    args.set("ipc", sample.ipc[lone]);
+                    evt->instant(cpu.now(), evtPid, kControlTid, "hill",
+                                 "single_ipc.update", std::move(args));
+                }
+            }
+        }
+        ++algEpoch;
+        traceEpoch(cpu, epoch_id, sample, ran, ran_partitioned, perf,
+                   sampled, -1, false);
+        chargeBoundary(cpu);
+        return;
+    }
 
-    // Figure 8 lines 8-15: at the end of a round, move the anchor in
-    // favor of the best-performing trial (the positive gradient).
+    // Figure 8 line 7: record the performance of the previous epoch.
+    double perf = evalActiveMetric(sample);
     int gradient_thread = -1;
     bool anchor_moved = false;
-    if (algEpoch % nt == static_cast<std::uint64_t>(nt - 1)) {
-        gradient_thread = 0;
-        for (int i = 1; i < nt; ++i)
-            if (roundPerf[i] > roundPerf[gradient_thread])
-                gradient_thread = i;
+    if (dirty) {
+        // The finished epoch ran (at least partly) under a pre-churn
+        // partition over a different active set; its measurement is
+        // not comparable within the restarted round. Drop it and let
+        // the new round begin with the trial installed below.
+    } else {
+        roundPerf[activeAt(roundPos)] = perf;
+
+        // Figure 8 lines 8-15: at the end of a round, move the anchor
+        // in favor of the best-performing trial (the positive
+        // gradient).
+        if (roundPos == na - 1) {
+            gradient_thread = activeAt(0);
+            for (int i = gradient_thread + 1; i < nt; ++i)
+                if (activeMask[i] &&
+                    roundPerf[i] > roundPerf[gradient_thread])
+                    gradient_thread = i;
+            anchor_moved = true;
+        }
+        roundPos = (roundPos + 1) % na;
+    }
+    if (anchor_moved) {
         Partition before = anchorPartition;
         Partition next = moveAnchor(anchorPartition, gradient_thread,
                                     cfg.delta, cfg.minShare);
         anchorPartition = overrideAnchor(cpu, next);
-        anchor_moved = true;
         if (evt) {
             // Decision audit: everything the gradient step looked at
             // and everything it decided, in one event.
@@ -301,12 +569,18 @@ HillClimbing::epoch(SmtCpu &cpu, std::uint64_t epoch_id)
 
     // SingleIPC sampling (Section 4.2): every samplePeriod epochs,
     // run one thread solo for the next epoch. Only the weighted
-    // metrics need stand-alone IPCs.
-    if (cfg.sampleSingleIpc && needsSingleIpc() && nt > 1 &&
-        ++epochsSinceSample >= cfg.samplePeriod) {
+    // metrics need stand-alone IPCs. Churn-queued re-bootstrap
+    // samples (needsSolo) take priority over the periodic rotation.
+    int pending = (cfg.sampleSingleIpc && needsSingleIpc() && na > 1)
+                      ? nextNeedsSolo()
+                      : -1;
+    if (pending >= 0) {
+        beginSample(cpu, pending);
+    } else if (cfg.sampleSingleIpc && needsSingleIpc() && na > 1 &&
+               ++epochsSinceSample >= cfg.samplePeriod) {
         epochsSinceSample = 0;
-        int next = sampleRotation;
-        sampleRotation = (sampleRotation + 1) % nt;
+        int next = nextActiveFrom(sampleRotation, nt);
+        sampleRotation = (next + 1) % nt;
         beginSample(cpu, next);
     } else {
         // Figure 8 lines 16-21: install the next trial partition.

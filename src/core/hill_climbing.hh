@@ -62,6 +62,8 @@ class HillClimbing : public ResourcePolicy
     std::string name() const override;
     void attach(SmtCpu &cpu) override;
     void epoch(SmtCpu &cpu, std::uint64_t epoch_id) override;
+    void threadAttached(SmtCpu &cpu, ThreadId tid) override;
+    void threadDetached(SmtCpu &cpu, ThreadId tid) override;
     std::unique_ptr<ResourcePolicy> clone() const override;
 
     const HillConfig &config() const { return cfg; }
@@ -88,6 +90,16 @@ class HillClimbing : public ResourcePolicy
 
     /** @return true once every thread has a stand-alone IPC sample. */
     bool estimatesReady() const;
+
+    /** @return true while context @p tid holds a job (open system). */
+    bool threadActive(int tid) const { return activeMask[tid]; }
+
+    /**
+     * @return true while context @p tid waits for a solo re-bootstrap
+     * sample (queued at threadAttached so a reused context never
+     * learns on the previous occupant's stand-alone IPC).
+     */
+    bool soloResamplePending(int tid) const { return needsSolo[tid]; }
 
   protected:
     /**
@@ -123,6 +135,24 @@ class HillClimbing : public ResourcePolicy
         return cfg.metric != PerfMetric::AvgIpc;
     }
 
+    /** @return number of active (job-holding) contexts. */
+    int numActive(int nt) const;
+
+    /** @return thread id of the @p k-th active context. */
+    int activeAt(int k) const;
+
+    /** @return lowest-index active context awaiting a solo sample. */
+    int nextNeedsSolo() const;
+
+    /** @return first active context at or cyclically after @p start. */
+    int nextActiveFrom(int start, int nt) const;
+
+    /**
+     * Metric over the active subset only; in a closed system (no
+     * churn ever observed) this is plain evalMetric, bit for bit.
+     */
+    double evalActiveMetric(const IpcSample &sample) const;
+
     /** Record this boundary's state into the attached tracer. */
     void traceEpoch(const SmtCpu &cpu, std::uint64_t epoch_id,
                     const IpcSample &sample, const Partition &trial,
@@ -143,6 +173,20 @@ class HillClimbing : public ResourcePolicy
     int sampleRotation = 0;       ///< next thread to sample
     int samplingThread = -1;      ///< thread running solo, or -1
     int bootstrapPending = 0;     ///< attach-time solo samples left
+
+    // --- Open-system churn state (time-varying active set). All of
+    // --- it is inert in a closed system: activeMask is all-true,
+    // --- openSystemMode stays false, and every churn branch below
+    // --- reduces to the legacy behavior bit for bit.
+    std::array<bool, kMaxThreads> activeMask{};  ///< contexts w/ jobs
+    std::array<bool, kMaxThreads> needsSolo{};   ///< re-bootstrap due
+    /** Start cycle of each context's current residency stint. */
+    std::array<Cycle, kMaxThreads> residentFrom{};
+    /** Resident cycles of finished stints inside this window. */
+    std::array<Cycle, kMaxThreads> residentAccum{};
+    int roundPos = 0;        ///< active-set index of installed trial
+    bool roundDirty = false; ///< churn invalidated the running epoch
+    bool openSystemMode = false; ///< any churn (or partial attach) seen
 };
 
 } // namespace smthill

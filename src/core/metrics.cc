@@ -65,4 +65,23 @@ evalMetric(PerfMetric metric, const IpcSample &sample)
     return evalMetric(metric, sample, ones);
 }
 
+double
+evalMetricMasked(PerfMetric metric, const IpcSample &sample,
+                 const std::array<double, kMaxThreads> &single_ipc,
+                 const std::array<bool, kMaxThreads> &active)
+{
+    IpcSample compact;
+    std::array<double, kMaxThreads> solo{};
+    int j = 0;
+    for (int i = 0; i < sample.numThreads; ++i) {
+        if (!active[i])
+            continue;
+        compact.ipc[j] = sample.ipc[i];
+        solo[j] = single_ipc[i];
+        ++j;
+    }
+    compact.numThreads = j;
+    return evalMetric(metric, compact, solo);
+}
+
 } // namespace smthill

@@ -48,6 +48,18 @@ double evalMetric(PerfMetric metric, const IpcSample &sample,
 /** Convenience: evaluate with all SingleIPCs = 1. */
 double evalMetric(PerfMetric metric, const IpcSample &sample);
 
+/**
+ * Evaluate @p metric over the active subset of @p sample only
+ * (open-system churn: idle hardware contexts hold no job). Inactive
+ * entries are dropped before evaluation rather than contributing
+ * zeros — a zero-IPC idle context would zero the harmonic mean and
+ * dilute the weighted mean, which is exactly the bug this exists to
+ * avoid. Equivalent to evalMetric on the compacted sample.
+ */
+double evalMetricMasked(PerfMetric metric, const IpcSample &sample,
+                        const std::array<double, kMaxThreads> &single_ipc,
+                        const std::array<bool, kMaxThreads> &active);
+
 } // namespace smthill
 
 #endif // SMTHILL_CORE_METRICS_HH

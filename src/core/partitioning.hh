@@ -10,6 +10,7 @@
 #ifndef SMTHILL_CORE_PARTITIONING_HH
 #define SMTHILL_CORE_PARTITIONING_HH
 
+#include <array>
 #include <vector>
 
 #include "pipeline/resources.hh"
@@ -38,6 +39,43 @@ Partition trialPartition(const Partition &anchor, int favored, int delta,
  */
 Partition moveAnchor(const Partition &anchor, int gradient_thread,
                      int delta, int min_share);
+
+// --- Open-system churn (time-varying active thread sets) ------------
+//
+// Under job arrival/departure only a subset of the hardware contexts
+// is occupied. The convention across the learners: inactive contexts
+// hold share 0, and trial/anchor moves (above) never donate from a
+// zero share, so the plain Figure 8 algebra works unchanged over the
+// active set.
+
+/**
+ * Rebalance @p anchor after contexts left the active set: every
+ * inactive share drops to 0 and the freed units are redistributed
+ * across the active threads (equal cuts, remainder to the
+ * lowest-indexed). Active shares are then raised to the feasible
+ * floor min(min_share, total / numActive) — the PR-3 clampMin rule
+ * restricted to the active set — so no survivor is left starved by a
+ * departure. The total is preserved. With no active threads the
+ * result is all-zero (callers disable partitioning instead of
+ * installing it).
+ */
+Partition redistributeDetached(const Partition &anchor,
+                               const std::array<bool, kMaxThreads> &active,
+                               int min_share);
+
+/**
+ * Admit @p newcomer (must be active) into @p anchor: its share is
+ * rebuilt from 0 up to the equal cut total / numActive, taking one
+ * unit at a time from the richest other active thread, never pushing
+ * a donor below the newcomer's own level. Incumbent learned shares
+ * keep their relative order; the total is preserved — including a
+ * zero total: an anchor drained by an all-departure holds no shares
+ * to admit from, so the caller must re-seed it (give the newcomer
+ * the machine total) before admitting into it.
+ */
+Partition admitAttached(const Partition &anchor,
+                        const std::array<bool, kMaxThreads> &active,
+                        int newcomer, int min_share);
 
 } // namespace smthill
 

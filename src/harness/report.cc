@@ -111,6 +111,73 @@ runAndReport(SmtCpu &cpu, Cycle cycles,
     return buildReport(before, after, labels);
 }
 
+MachineReport
+buildJobReport(const OpenSystemResult &result)
+{
+    MachineReport rep;
+    rep.cycles = result.cycles;
+    if (rep.cycles == 0)
+        return rep;
+
+    std::uint64_t fetched_total = 0;
+    for (const JobRecord &job : result.jobs)
+        fetched_total += job.atDepart.fetched - job.atAttach.fetched;
+
+    for (const JobRecord &job : result.jobs) {
+        Cycle resident = job.residency();
+        if (resident == 0)
+            continue;
+
+        std::uint64_t committed = job.committed();
+        std::uint64_t fetched =
+            job.atDepart.fetched - job.atAttach.fetched;
+        std::uint64_t flushed =
+            job.atDepart.flushed - job.atAttach.flushed;
+        std::uint64_t branches =
+            job.atDepart.branches - job.atAttach.branches;
+        std::uint64_t mispred =
+            job.atDepart.mispredicts - job.atAttach.mispredicts;
+
+        ThreadReport tr;
+        tr.label = "job" + std::to_string(job.jobId) + ":" +
+                   job.benchmark;
+        tr.committed = committed;
+        tr.flushed = flushed;
+        // Rates are over the job's own residency window, not the
+        // whole run: the job wasn't on the machine outside it.
+        tr.ipc = static_cast<double>(committed) /
+                 static_cast<double>(resident);
+        tr.fetchShare = fetched_total
+                            ? static_cast<double>(fetched) /
+                                  static_cast<double>(fetched_total)
+                            : 0.0;
+        tr.mispredictRate =
+            branches ? static_cast<double>(mispred) /
+                           static_cast<double>(branches)
+                     : 0.0;
+        if (committed > 0) {
+            double kilo_inst = static_cast<double>(committed) / 1000.0;
+            tr.dl1Mpki =
+                static_cast<double>(job.atDepart.dl1Misses -
+                                    job.atAttach.dl1Misses) /
+                kilo_inst;
+            tr.l2Mpki = static_cast<double>(job.atDepart.l2Misses -
+                                            job.atAttach.l2Misses) /
+                        kilo_inst;
+            tr.flushedPerCommit = static_cast<double>(flushed) /
+                                  static_cast<double>(committed);
+        }
+        tr.lockedFrac =
+            static_cast<double>(job.atDepart.partitionLockCycles -
+                                job.atAttach.partitionLockCycles) /
+            static_cast<double>(resident);
+        rep.threads.push_back(std::move(tr));
+    }
+    rep.totalIpc = static_cast<double>(result.committedTotal) /
+                   static_cast<double>(rep.cycles);
+    return rep;
+}
+
 Json
 MachineReport::toJson() const
 {

@@ -16,6 +16,7 @@
 
 #include "common/json.hh"
 #include "pipeline/cpu.hh"
+#include "workload/open_system.hh"
 
 namespace smthill
 {
@@ -89,6 +90,18 @@ MachineReport buildReport(const MachineSnapshot &before,
 /** Convenience: snapshot, run @p cycles, report. */
 MachineReport runAndReport(SmtCpu &cpu, Cycle cycles,
                            const std::vector<std::string> &labels = {});
+
+/**
+ * Build a report with one row per *job* from an open-system run.
+ * Hardware contexts are reused across job lifetimes and their
+ * cumulative counters keep counting, so a per-context report would
+ * merge every job that ever ran on a context into one row; this
+ * adapter instead differences each job's own attach/depart snapshots,
+ * giving lifetime-correct rows (per-job IPC over the job's residency,
+ * its own branches/misses/flushes — not its predecessors').
+ * Unplaced jobs (zero residency) are skipped.
+ */
+MachineReport buildJobReport(const OpenSystemResult &result);
 
 } // namespace smthill
 

@@ -235,12 +235,30 @@ schemaFieldsFor(const std::string &path)
         "ts",          "dur",             "pid",
         "tid",         "args",            "value",
     };
+    // smthill.events.v1 job-lifecycle args (workload/open_system.cc)
+    static const std::set<std::string> openSystemEvents = {
+        "job",       "benchmark", "priority", "instructions",
+        "context",   "waited",    "committed", "residency",
+    };
+    // smthill.bench.open-system.v1 (bench/bench_open_system.cc)
+    static const std::set<std::string> benchOpenSystemV1 = {
+        "schema",          "seed",           "machine_threads",
+        "num_jobs",        "rows",           "mean_gap",
+        "policy",          "throughput",     "latency_p50",
+        "latency_p95",     "latency_p99",    "fairness",
+        "completed_jobs",  "horizon_jobs",   "max_queue_depth",
+        "cycles",          "committed_total",
+    };
     if (endsWith(path, "core/epoch_trace.cc"))
         return &epochTraceV1;
     if (endsWith(path, "harness/report.cc"))
         return &reportV1;
     if (endsWith(path, "common/event_trace.cc"))
         return &eventsV1;
+    if (endsWith(path, "workload/open_system.cc"))
+        return &openSystemEvents;
+    if (endsWith(path, "bench/bench_open_system.cc"))
+        return &benchOpenSystemV1;
     return nullptr;
 }
 

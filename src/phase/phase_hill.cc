@@ -39,6 +39,32 @@ PhaseHillClimbing::attach(SmtCpu &cpu)
     cpu.setBranchObserver(&PhaseHillClimbing::branchTrampoline, this);
 }
 
+void
+PhaseHillClimbing::resetPhaseState(int num_threads)
+{
+    bbv = BbvAccumulator(num_threads);
+    table = PhaseTable();
+    predictor = MarkovPhasePredictor();
+    learned.clear();
+    phaseEpochs.clear();
+    phaseRuns.clear();
+    currentPhase = -1;
+}
+
+void
+PhaseHillClimbing::threadAttached(SmtCpu &cpu, ThreadId tid)
+{
+    HillClimbing::threadAttached(cpu, tid);
+    resetPhaseState(cpu.numThreads());
+}
+
+void
+PhaseHillClimbing::threadDetached(SmtCpu &cpu, ThreadId tid)
+{
+    HillClimbing::threadDetached(cpu, tid);
+    resetPhaseState(cpu.numThreads());
+}
+
 bool
 PhaseHillClimbing::phaseStable(int phase) const
 {

@@ -32,6 +32,8 @@ class PhaseHillClimbing : public HillClimbing
     std::string name() const override;
     void attach(SmtCpu &cpu) override;
     void epoch(SmtCpu &cpu, std::uint64_t epoch_id) override;
+    void threadAttached(SmtCpu &cpu, ThreadId tid) override;
+    void threadDetached(SmtCpu &cpu, ThreadId tid) override;
     std::unique_ptr<ResourcePolicy> clone() const override;
 
     /** @return distinct phases observed so far. */
@@ -77,6 +79,16 @@ class PhaseHillClimbing : public HillClimbing
 
     /** @return true if @p phase has shown multi-epoch persistence. */
     bool phaseStable(int phase) const;
+
+    /**
+     * Forget everything phase-related. Called on open-system churn:
+     * BBV signatures, the phase table, the Markov transition model,
+     * and the learned partitionings all describe the *job mix* that
+     * just changed — a learned partition for a departed set of jobs
+     * is exactly the stale-anchor hazard the stability gate exists
+     * to prevent, so the whole model restarts from scratch.
+     */
+    void resetPhaseState(int num_threads);
 
     BbvAccumulator bbv;
     PhaseTable table;

@@ -794,13 +794,9 @@ SmtCpu::doFetch()
 // --------------------------------------------------------------------
 
 int
-SmtCpu::flushThreadAfter(ThreadId tid, InstSeq seq)
+SmtCpu::squashFrom(ThreadId tid, InstSeq start)
 {
     ThreadState &t = threads.at(tid);
-    InstSeq start = std::max(seq + 1, t.commitSeq);
-    if (start >= t.fetchSeq)
-        return 0;
-
     int squashed = 0;
     for (InstSeq i = start; i < t.fetchSeq; ++i) {
         Slot &s = slotOf(t, i);
@@ -816,6 +812,10 @@ SmtCpu::flushThreadAfter(ThreadId tid, InstSeq seq)
         ++s.genId;
         s.dependents.clear();
         ++squashed;
+        // Every squash counts as flushed, whatever triggered it —
+        // the fetched == committed + flushed + in-flight identity
+        // must survive context resets and parks, not just policy
+        // flushes.
         ++statCounters.flushed[tid];
     }
 
@@ -826,6 +826,18 @@ SmtCpu::flushThreadAfter(ThreadId tid, InstSeq seq)
     std::erase_if(t.misses, [start](const OutstandingMiss &m) {
         return m.seq >= start;
     });
+    return squashed;
+}
+
+int
+SmtCpu::flushThreadAfter(ThreadId tid, InstSeq seq)
+{
+    ThreadState &t = threads.at(tid);
+    InstSeq start = std::max(seq + 1, t.commitSeq);
+    if (start >= t.fetchSeq)
+        return 0;
+
+    int squashed = squashFrom(tid, start);
     if (evtRef.trace && squashed > 0) {
         Json args = Json::object();
         args.set("after_seq", seq);
@@ -833,6 +845,53 @@ SmtCpu::flushThreadAfter(ThreadId tid, InstSeq seq)
         evtRef.trace->instant(curCycle, evtRef.pid,
                               static_cast<int>(tid), "machine", "flush",
                               std::move(args));
+    }
+    return squashed;
+}
+
+int
+SmtCpu::idleContext(ThreadId tid)
+{
+    ThreadState &t = threads.at(tid);
+    int squashed = squashFrom(tid, t.commitSeq);
+    t.genSeq = t.commitSeq;
+    t.blockingBranch = kNoSeq;
+    t.policyLocked = false;
+    t.enabled = false;
+    t.misses.clear();
+    if (evtRef.trace) {
+        Json args = Json::object();
+        args.set("squashed", squashed);
+        evtRef.trace->instant(curCycle, evtRef.pid,
+                              static_cast<int>(tid), "machine",
+                              "context.idle", std::move(args));
+    }
+    return squashed;
+}
+
+int
+SmtCpu::resetContext(ThreadId tid, StreamGenerator gen)
+{
+    ThreadState &t = threads.at(tid);
+    int squashed = squashFrom(tid, t.commitSeq);
+    t.gen = std::move(gen);
+    // Pull the generation cursor back so the first fetch after the
+    // reset synthesizes from the new stream; slots pre-generated from
+    // the old occupant's generator are overwritten before use.
+    t.genSeq = t.commitSeq;
+    t.fetchReadyAt = curCycle;
+    t.blockingBranch = kNoSeq;
+    t.policyLocked = false;
+    t.enabled = true;
+    t.misses.clear();
+    predictors[tid] = HybridPredictor(cfg.metaEntries, cfg.gshareEntries,
+                                      cfg.bimodalEntries);
+    if (evtRef.trace) {
+        Json args = Json::object();
+        args.set("squashed", squashed);
+        evtRef.trace->instant(curCycle, evtRef.pid,
+                              static_cast<int>(tid), "machine",
+                              "context.reset", std::move(args));
     }
     return squashed;
 }

@@ -162,6 +162,32 @@ class SmtCpu
     /** Enable or disable a thread (SingleIPC sampling epochs). */
     void setThreadEnabled(ThreadId tid, bool enabled);
 
+    /**
+     * Rebind hardware context @p tid to a fresh instruction stream
+     * (open-system job arrival on a possibly-reused context). Every
+     * in-flight instruction of the old occupant is squashed, counted
+     * into the flushed stats (it was fetched and discarded, and the
+     * fetched == committed + flushed + in-flight flow identity must
+     * survive a reset), and its resources released; the per-thread
+     * branch predictor is reset so the new job
+     * does not inherit the departed job's history. Cache contents
+     * stay warm (a real context switch does not flash-invalidate the
+     * caches). The context comes back fetch-unlocked and enabled;
+     * cumulative per-thread counters keep counting, so per-job
+     * accounting must snapshot deltas around the job's residency.
+     * @return in-flight instructions squashed.
+     */
+    int resetContext(ThreadId tid, StreamGenerator gen);
+
+    /**
+     * Park hardware context @p tid after its job departed: squash any
+     * in-flight instructions past the job's bound (counted as flushed,
+     * like any other squash) so the idle context holds no shared
+     * resources, then disable it. A later resetContext() brings it
+     * back for the next job. @return in-flight instructions squashed.
+     */
+    int idleContext(ThreadId tid);
+
     /** @return true if the thread is fetching/dispatching. */
     bool threadEnabled(ThreadId tid) const;
 
@@ -347,6 +373,17 @@ class SmtCpu
 
     /** Release whatever resources a slot still holds. */
     void releaseResources(ThreadId tid, Slot &slot);
+
+    /**
+     * Squash every in-flight instruction of @p tid at or after
+     * @p start, releasing resources and bumping slot generations so
+     * queued wakeup/completion events go stale. Every squashed
+     * instruction counts into the flushed stats, whether a policy
+     * flush or a context reset/park discarded it: the
+     * fetched == committed + flushed + in-flight flow identity must
+     * hold across job lifetimes.
+     */
+    int squashFrom(ThreadId tid, InstSeq start);
 
     SmtConfig cfg;
     MemoryHierarchy mem;

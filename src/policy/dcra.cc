@@ -15,6 +15,7 @@ void
 DcraPolicy::attach(SmtCpu &cpu)
 {
     lastSlowMask = ~std::uint32_t{0};
+    lastActiveMask = ~std::uint32_t{0};
     for (int i = 0; i < cpu.numThreads(); ++i)
         cpu.setFetchLocked(static_cast<ThreadId>(i), false);
     recompute(cpu);
@@ -31,28 +32,48 @@ DcraPolicy::recompute(SmtCpu &cpu)
 {
     int nt = cpu.numThreads();
 
+    // Disabled contexts (open-system idle slots, jobs departed) are
+    // excluded from the share computation entirely: they hold share 0
+    // and are neither fast nor slow. In a closed system every context
+    // is enabled and this degenerates to the original formula.
     std::uint32_t slow_mask = 0;
+    std::uint32_t active_mask = 0;
     int num_slow = 0;
+    int num_active = 0;
     for (int i = 0; i < nt; ++i) {
+        if (!cpu.threadEnabled(static_cast<ThreadId>(i)))
+            continue;
+        active_mask |= std::uint32_t{1} << i;
+        ++num_active;
         if (cpu.dl1MissesInFlight(static_cast<ThreadId>(i)) > 0) {
             slow_mask |= std::uint32_t{1} << i;
             ++num_slow;
         }
     }
-    if (slow_mask == lastSlowMask)
+    if (slow_mask == lastSlowMask && active_mask == lastActiveMask)
         return; // classification unchanged; limits still valid
     lastSlowMask = slow_mask;
+    lastActiveMask = active_mask;
+
+    if (num_active == 0) {
+        cpu.clearPartition();
+        return;
+    }
 
     // One fast thread gets x units, a slow one gets C*x, with
     // F*x + S*C*x = total.
     int total = cpu.config().intRegs;
-    int num_fast = nt - num_slow;
+    int num_fast = num_active - num_slow;
     int denom = num_fast + sharingFactor * num_slow;
 
     Partition p;
     p.numThreads = nt;
     int assigned = 0;
     for (int i = 0; i < nt; ++i) {
+        if (!((active_mask >> i) & 1)) {
+            p.share[i] = 0;
+            continue;
+        }
         bool slow = (slow_mask >> i) & 1;
         int share = total * (slow ? sharingFactor : 1) / denom;
         p.share[i] = share;
@@ -67,8 +88,10 @@ DcraPolicy::recompute(SmtCpu &cpu)
         }
     }
     for (int i = 0; i < nt && leftover > 0; ++i) {
-        ++p.share[i];
-        --leftover;
+        if ((active_mask >> i) & 1) {
+            ++p.share[i];
+            --leftover;
+        }
     }
 
     cpu.setPartition(p);

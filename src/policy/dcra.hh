@@ -38,6 +38,7 @@ class DcraPolicy : public ResourcePolicy
 
     int sharingFactor;
     std::uint32_t lastSlowMask = ~std::uint32_t{0};
+    std::uint32_t lastActiveMask = ~std::uint32_t{0};
 };
 
 } // namespace smthill

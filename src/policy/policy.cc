@@ -18,4 +18,14 @@ ResourcePolicy::epoch(SmtCpu &, std::uint64_t)
 {
 }
 
+void
+ResourcePolicy::threadAttached(SmtCpu &, ThreadId)
+{
+}
+
+void
+ResourcePolicy::threadDetached(SmtCpu &, ThreadId)
+{
+}
+
 } // namespace smthill

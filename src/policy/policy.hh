@@ -47,6 +47,21 @@ class ResourcePolicy
      */
     virtual void epoch(SmtCpu &cpu, std::uint64_t epoch_id);
 
+    /**
+     * Open-system churn hook: a job was attached to context @p tid
+     * (its stream was just rebound via SmtCpu::resetContext). The
+     * machine is stopped at the attach cycle. Default: no-op —
+     * monitor-only policies recompute from machine state anyway.
+     */
+    virtual void threadAttached(SmtCpu &cpu, ThreadId tid);
+
+    /**
+     * Open-system churn hook: the job on context @p tid departed and
+     * the context is now idle (disabled until the next arrival).
+     * Default: no-op.
+     */
+    virtual void threadDetached(SmtCpu &cpu, ThreadId tid);
+
     /** @return a deep copy (for synchronized comparison runs). */
     virtual std::unique_ptr<ResourcePolicy> clone() const = 0;
 

@@ -17,6 +17,7 @@
 #include "policy/dcra.hh"
 #include "policy/flush.hh"
 #include "validate/checked_cpu.hh"
+#include "workload/open_system.hh"
 
 namespace smthill
 {
@@ -529,6 +530,206 @@ stagePhaseFreeDiff(const FuzzCase &c, FuzzResult &r)
                 c.machine.numThreads);
 }
 
+// --- Stage G: open-system churn ------------------------------------
+
+/** Bit-exact comparison of two open-system runs of one config. */
+bool
+sameOpenSystemRun(const OpenSystemResult &a, const OpenSystemResult &b)
+{
+    if (a.cycles != b.cycles || a.committedTotal != b.committedTotal ||
+        a.completedJobs != b.completedJobs ||
+        a.horizonJobs != b.horizonJobs ||
+        a.maxQueueDepth != b.maxQueueDepth ||
+        a.jobs.size() != b.jobs.size())
+        return false;
+    for (std::size_t j = 0; j < a.jobs.size(); ++j) {
+        const JobRecord &ja = a.jobs[j];
+        const JobRecord &jb = b.jobs[j];
+        if (ja.arriveCycle != jb.arriveCycle ||
+            ja.attachCycle != jb.attachCycle ||
+            ja.departCycle != jb.departCycle ||
+            ja.context != jb.context || ja.attached != jb.attached ||
+            ja.completed != jb.completed ||
+            !(ja.atAttach == jb.atAttach) ||
+            !(ja.atDepart == jb.atDepart))
+            return false;
+    }
+    return true;
+}
+
+/** Per-job lifecycle accounting identities over one finished run. */
+void
+checkJobAccounting(const FuzzCase &c, FuzzResult &r, const char *stage,
+                   const OpenSystemResult &res)
+{
+    std::uint64_t job_committed = 0;
+    // Per-context job residency intervals, for disjointness.
+    std::vector<std::vector<std::pair<Cycle, Cycle>>> spans(
+        static_cast<std::size_t>(c.machine.numThreads));
+
+    for (const JobRecord &job : res.jobs) {
+        job_committed += job.committed();
+        if (!job.attached) {
+            if (job.residency() != 0 || job.committed() != 0) {
+                finding(r, stage, "unplaced_job_ran",
+                        msg("job ", job.jobId, " never attached but "
+                            "shows residency ", job.residency(),
+                            " / committed ", job.committed()));
+            }
+            continue;
+        }
+        if (job.context < 0 || job.context >= c.machine.numThreads) {
+            finding(r, stage, "context_range",
+                    msg("job ", job.jobId, " on context ", job.context,
+                        ", machine has ", c.machine.numThreads));
+            continue;
+        }
+        if (job.attachCycle < job.arriveCycle) {
+            finding(r, stage, "attach_before_arrival",
+                    msg("job ", job.jobId, " attached at ",
+                        job.attachCycle, ", arrived at ",
+                        job.arriveCycle));
+        }
+        // Snapshots bracket the residency: monotone in every counter.
+        const ContextSnapshot &s0 = job.atAttach;
+        const ContextSnapshot &s1 = job.atDepart;
+        if (s1.cycle < s0.cycle || s1.committed < s0.committed ||
+            s1.fetched < s0.fetched || s1.flushed < s0.flushed ||
+            s1.branches < s0.branches ||
+            s1.mispredicts < s0.mispredicts ||
+            s1.dl1Misses < s0.dl1Misses || s1.l2Misses < s0.l2Misses) {
+            finding(r, stage, "snapshot_monotonicity",
+                    msg("job ", job.jobId,
+                        " depart snapshot below attach snapshot"));
+        }
+        if (job.completed) {
+            if (job.committed() < job.instructions ||
+                job.committed() >=
+                    job.instructions +
+                        static_cast<std::uint64_t>(
+                            c.machine.commitWidth)) {
+                finding(r, stage, "departure_bound",
+                        msg("job ", job.jobId, " departed at ",
+                            job.committed(), " committed, bound ",
+                            job.instructions, " (commit width ",
+                            c.machine.commitWidth, ")"));
+            }
+            if (job.residency() == 0) {
+                finding(r, stage, "zero_residency",
+                        msg("completed job ", job.jobId,
+                            " has zero residency"));
+            }
+        }
+        spans[static_cast<std::size_t>(job.context)].push_back(
+            {job.attachCycle, job.departCycle});
+    }
+
+    // A reused context holds one job at a time: residency intervals
+    // on each context must be pairwise disjoint.
+    for (std::size_t ctx = 0; ctx < spans.size(); ++ctx) {
+        auto &v = spans[ctx];
+        std::sort(v.begin(), v.end());
+        for (std::size_t k = 1; k < v.size(); ++k) {
+            if (v[k].first < v[k - 1].second) {
+                finding(r, stage, "context_overlap",
+                        msg("context ", ctx, " holds two jobs at once ([",
+                            v[k - 1].first, ",", v[k - 1].second,
+                            ") and [", v[k].first, ",", v[k].second,
+                            "))"));
+            }
+        }
+    }
+
+    // Idle contexts are parked (squashed, disabled), so every
+    // committed instruction belongs to exactly one job's residency.
+    if (job_committed != res.committedTotal) {
+        finding(r, stage, "committed_attribution",
+                msg("per-job committed sums to ", job_committed,
+                    ", machine committed ", res.committedTotal));
+    }
+
+    // The per-job report keeps jobs with distinct lifetimes on
+    // distinct rows: one row per job that ever ran.
+    std::size_t resident_jobs = 0;
+    for (const JobRecord &job : res.jobs)
+        if (job.residency() > 0)
+            ++resident_jobs;
+    MachineReport rep = buildJobReport(res);
+    if (rep.threads.size() != resident_jobs) {
+        finding(r, stage, "job_report_rows",
+                msg("job report has ", rep.threads.size(),
+                    " rows for ", resident_jobs, " resident jobs"));
+    }
+}
+
+void
+stageOpenSystemChurn(const FuzzCase &c, FuzzResult &r)
+{
+    static const char *kStage = "G.open-system";
+
+    OpenSystemConfig oc;
+    oc.seed = c.seed ^ 0x05E205E2u;
+    oc.arrivalRate = 1.0 / static_cast<double>(c.osMeanGap);
+    oc.numJobs = c.osJobs;
+    oc.minJobInstructions = 3 * 1024;
+    oc.maxJobInstructions = 8 * 1024;
+    oc.epochSize = c.hill.epochSize;
+    oc.horizon = 512 * 1024; // bounded even if a policy livelocks
+    oc.slaWeights = c.osSla;
+
+    OpenSystem sys(c.machine, oc);
+
+    HillClimbing *ignored = nullptr;
+    std::unique_ptr<ResourcePolicy> p1 = makePolicy(c, &ignored);
+    std::unique_ptr<ResourcePolicy> p2 = p1->clone();
+
+    // Run 1: periodic full-machine invariant sweeps under churn.
+    InvariantChecker chk;
+    std::uint64_t tick = 0;
+    sys.setCycleObserver([&](const SmtCpu &m) {
+        if (++tick % 64 == 0)
+            chk.checkCpu(m);
+    });
+    OpenSystemResult r1 = sys.run(*p1);
+    drainChecker(r, kStage, chk);
+    checkJobAccounting(c, r, kStage, r1);
+
+    // Run 2: same config + cloned policy must be bit-identical.
+    sys.setCycleObserver(nullptr);
+    OpenSystemResult r2 = sys.run(*p2);
+    if (!sameOpenSystemRun(r1, r2)) {
+        finding(r, kStage, "rerun_divergence",
+                msg("same-config rerun diverged (", r1.cycles, " vs ",
+                    r2.cycles, " cycles, ", r1.committedTotal, " vs ",
+                    r2.committedTotal, " committed)"));
+    }
+
+    // Grid cross-check: a 2-cell lambda sweep reduced serially must
+    // not depend on the worker count.
+    auto sweep = [&](int jobs) {
+        std::vector<OpenSystemResult> out(2);
+        runGrid(2, jobs, [&](std::size_t cell) {
+            OpenSystemConfig cc = oc;
+            cc.arrivalRate =
+                oc.arrivalRate / static_cast<double>(cell + 1);
+            OpenSystem s(c.machine, cc);
+            HillClimbing *ig = nullptr;
+            std::unique_ptr<ResourcePolicy> p = makePolicy(c, &ig);
+            out[cell] = s.run(*p);
+        });
+        return out;
+    };
+    std::vector<OpenSystemResult> serial = sweep(1);
+    std::vector<OpenSystemResult> threaded = sweep(3);
+    for (std::size_t cell = 0; cell < serial.size(); ++cell) {
+        if (!sameOpenSystemRun(serial[cell], threaded[cell])) {
+            finding(r, kStage, "grid_jobs_divergence",
+                    msg("sweep cell ", cell,
+                        " diverges between runGrid jobs=1 and jobs=3"));
+        }
+    }
+}
+
 } // namespace
 
 // --- Case construction ---------------------------------------------
@@ -600,6 +801,12 @@ makeFuzzCase(std::uint64_t seed)
     c.offlineStride =
         std::max(1, m.intRegs / (4 << rng.nextBelow(3)));
     c.policyChoice = static_cast<int>(rng.nextBelow(4));
+
+    // Stage G draws come last: older seeds' A-F scenarios stay
+    // byte-identical across the schema growth.
+    c.osJobs = 3 + static_cast<int>(rng.nextBelow(3)); // 3..5 jobs
+    c.osMeanGap = Cycle{1024} << rng.nextBelow(3);     // 1K/2K/4K
+    c.osSla = rng.chance(0.5);
     return c;
 }
 
@@ -612,7 +819,8 @@ FuzzCase::str() const
                metricName(hill.metric), " epochSize=", hill.epochSize,
                " delta=", hill.delta, " minShare=", hill.minShare,
                " epochs=", epochs, " warmup=", warmup, " stride=",
-               offlineStride);
+               offlineStride, " osJobs=", osJobs, " osGap=", osMeanGap,
+               " osSla=", osSla);
 }
 
 std::string
@@ -640,6 +848,7 @@ runFuzzCase(const FuzzCase &c)
     stageCopyDeterminism(c, r, warm);
     stageOfflineJobs(c, r, warm);
     stagePhaseFreeDiff(c, r);
+    stageOpenSystemChurn(c, r);
     return r;
 }
 

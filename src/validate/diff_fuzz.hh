@@ -23,7 +23,15 @@
  *     bit-identical epochs (2-thread cases only);
  *  F. HillClimbing vs PhaseHillClimbing on phase-free streams must
  *     produce identical anchor trajectories and machine states (a
- *     single stable phase gives the phase learner nothing to reuse).
+ *     single stable phase gives the phase learner nothing to reuse);
+ *  G. open-system churn: a randomized arrival schedule drives the
+ *     chosen policy through mid-run thread attach/detach. Per-job
+ *     lifecycle accounting must reconcile exactly (snapshots
+ *     monotone, jobs on one context disjoint in time, per-job
+ *     committed sums to the machine total), periodic invariant
+ *     sweeps must stay clean under churn, a same-config rerun must
+ *     be bit-identical, and a 2-cell runGrid sweep must match at
+ *     jobs == 1 vs jobs == 3.
  *
  * Failures come back as FuzzFindings tagged with their stage; a
  * failing case can be shrunk with minimizeFuzzCase, whose output is
@@ -55,6 +63,12 @@ struct FuzzCase
     Cycle warmup = 24 * 1024;
     int offlineStride = 8;   ///< enumeration stride for stage E
     int policyChoice = 0;    ///< 0 HILL, 1 PHASE-HILL, 2 DCRA, 3 FLUSH
+
+    // Stage G open-system shape (drawn after every older field so
+    // existing seeds keep expanding to the same A-F scenarios).
+    int osJobs = 4;          ///< arrival-schedule length
+    Cycle osMeanGap = 4096;  ///< mean inter-arrival gap, cycles
+    bool osSla = false;      ///< draw per-job SLA weights
 
     /** One-line description for logs and reproducer reports. */
     std::string str() const;

@@ -143,5 +143,80 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(0.1, 0.5, 1.0, 2.0, 3.0),
                        ::testing::Values(0.05, 0.2, 0.4, 0.8)));
 
+// --- Masked evaluation under open-system churn (PR 7) ---------------
+
+/**
+ * Regression: in an open system an idle context reads IPC 0 for the
+ * whole epoch. Before masking, that zero fed straight into the
+ * metrics — the harmonic mean collapsed to 0 and the averages were
+ * diluted by contexts that held no job — so the learner compared
+ * every trial against a floor and the gradient signal vanished.
+ */
+TEST(MaskedMetrics, IdleContextDoesNotZeroHarmonicMean)
+{
+    IpcSample s;
+    s.numThreads = 3;
+    s.ipc = {1.2, 0.0, 0.6}; // context 1 idle
+    auto solo = solo2(2.4, 1.2);
+    solo[2] = 1.2;
+    std::array<bool, kMaxThreads> active{};
+    active[0] = active[2] = true;
+
+    double unmasked =
+        evalMetric(PerfMetric::HarmonicWeightedIpc, s, solo);
+    EXPECT_DOUBLE_EQ(unmasked, 0.0) << "zero IPC poisons the mean";
+
+    double masked =
+        evalMetricMasked(PerfMetric::HarmonicWeightedIpc, s, solo,
+                         active);
+    EXPECT_DOUBLE_EQ(masked, 0.5)
+        << "both resident jobs run at half their solo speed";
+}
+
+TEST(MaskedMetrics, IdleContextDoesNotDiluteAverages)
+{
+    IpcSample s;
+    s.numThreads = 4;
+    s.ipc = {1.0, 0.0, 0.0, 1.0}; // only contexts 0 and 3 resident
+    auto solo = solo2(2.0, 2.0);
+    solo[2] = 2.0;
+    solo[3] = 2.0;
+    std::array<bool, kMaxThreads> active{};
+    active[0] = active[3] = true;
+
+    EXPECT_DOUBLE_EQ(evalMetricMasked(PerfMetric::AvgIpc, s, solo,
+                                      active),
+                     2.0);
+    EXPECT_DOUBLE_EQ(evalMetricMasked(PerfMetric::WeightedIpc, s, solo,
+                                      active),
+                     0.5);
+}
+
+TEST(MaskedMetrics, FullMaskMatchesUnmaskedEvaluation)
+{
+    // Closed system (every context active): the masked evaluator must
+    // be bit-identical to the legacy one for all three metrics.
+    IpcSample s = sample2(1.5, 0.5);
+    auto solo = solo2(3.0, 0.4);
+    std::array<bool, kMaxThreads> active{};
+    active[0] = active[1] = true;
+    for (PerfMetric m :
+         {PerfMetric::AvgIpc, PerfMetric::WeightedIpc,
+          PerfMetric::HarmonicWeightedIpc}) {
+        EXPECT_EQ(evalMetricMasked(m, s, solo, active),
+                  evalMetric(m, s, solo));
+    }
+}
+
+TEST(MaskedMetrics, EmptyMaskEvaluatesToZero)
+{
+    IpcSample s = sample2(1.5, 0.5);
+    auto solo = solo2(3.0, 0.4);
+    std::array<bool, kMaxThreads> active{};
+    EXPECT_DOUBLE_EQ(evalMetricMasked(PerfMetric::AvgIpc, s, solo,
+                                      active),
+                     0.0);
+}
+
 } // namespace
 } // namespace smthill

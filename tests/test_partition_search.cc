@@ -6,6 +6,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
+
+#include "common/rng.hh"
 #include "core/partitioning.hh"
 
 namespace smthill
@@ -214,6 +218,113 @@ INSTANTIATE_TEST_SUITE_P(
     Sweep, MoveSweep,
     ::testing::Combine(::testing::Values(2, 3, 4, 6, 8),
                        ::testing::Values(1, 2, 4, 8, 16)));
+
+// --- Open-system churn: masked redistribution (PR 7) ----------------
+
+TEST(RedistributeDetached, FreedSharesSpreadOverSurvivors)
+{
+    Partition p;
+    p.numThreads = 4;
+    p.share = {100, 60, 60, 36};
+    std::array<bool, kMaxThreads> active{};
+    active[0] = active[2] = active[3] = true; // thread 1 departed
+
+    Partition q = redistributeDetached(p, active, 8);
+    EXPECT_EQ(q.total(), 256) << "departure conserves the total";
+    EXPECT_EQ(q.share[1], 0) << "inactive contexts hold nothing";
+    EXPECT_EQ(q.share[0], 120);
+    EXPECT_EQ(q.share[2], 80);
+    EXPECT_EQ(q.share[3], 56);
+}
+
+TEST(RedistributeDetached, LastDeparturesZeroThePartition)
+{
+    Partition p = Partition::equal(3, 256);
+    std::array<bool, kMaxThreads> active{}; // everyone gone
+    Partition q = redistributeDetached(p, active, 8);
+    for (int i = 0; i < 3; ++i)
+        EXPECT_EQ(q.share[i], 0);
+}
+
+TEST(AdmitAttached, NewcomerFundedFromRichestActives)
+{
+    Partition p;
+    p.numThreads = 4;
+    p.share = {200, 56, 0, 0};
+    std::array<bool, kMaxThreads> active{};
+    active[0] = active[1] = active[2] = true; // thread 2 just arrived
+
+    Partition q = admitAttached(p, active, 2, 8);
+    EXPECT_EQ(q.total(), 256);
+    EXPECT_GE(q.share[2], 256 / 3 - 1)
+        << "newcomer starts near its equal share";
+    EXPECT_EQ(q.share[3], 0);
+    for (int i = 0; i < 3; ++i)
+        EXPECT_GE(q.share[i], 8) << "feasible floor over the actives";
+}
+
+TEST(AdmitAttached, InactiveNewcomerIsFatal)
+{
+    Partition p = Partition::equal(2, 256);
+    std::array<bool, kMaxThreads> active{};
+    active[0] = active[1] = true;
+    EXPECT_DEATH(admitAttached(p, active, 3, 8), "admitAttached");
+}
+
+/**
+ * Property: any random attach/detach sequence keeps the partition
+ * feasible — total conserved (or zero when nobody is active), every
+ * active share at the PR-3 feasible floor min(min_share,
+ * total / num_active), every inactive share exactly zero.
+ */
+TEST(ChurnRefeasibility, RandomAttachDetachSequencesStayFeasible)
+{
+    const int kTotal = 256;
+    const int kThreads = 4;
+    Rng rng(0xC0FFEE);
+    for (int trial = 0; trial < 64; ++trial) {
+        int min_share = 1 << rng.nextBelow(6); // 1..32
+        std::array<bool, kMaxThreads> active{};
+        Partition p;
+        p.numThreads = kThreads;
+        p.share.fill(0);
+
+        for (int step = 0; step < 48; ++step) {
+            int tid = static_cast<int>(rng.nextBelow(kThreads));
+            if (active[tid]) {
+                active[tid] = false;
+                p = redistributeDetached(p, active, min_share);
+            } else {
+                active[tid] = true;
+                // The caller owns re-seeding a drained anchor (churn
+                // bug #2): admitAttached conserves a zero total.
+                if (p.total() == 0)
+                    p.share[tid] = kTotal;
+                p = admitAttached(p, active, tid, min_share);
+            }
+
+            int num_active = 0;
+            for (int i = 0; i < kThreads; ++i)
+                num_active += active[i] ? 1 : 0;
+            if (num_active == 0) {
+                EXPECT_EQ(p.total(), 0);
+                continue;
+            }
+            ASSERT_EQ(p.total(), kTotal)
+                << "step " << step << " of trial " << trial;
+            int floor_eff = std::min(min_share, kTotal / num_active);
+            for (int i = 0; i < kThreads; ++i) {
+                if (active[i]) {
+                    EXPECT_GE(p.share[i], floor_eff)
+                        << "active thread " << i << " below floor";
+                } else {
+                    EXPECT_EQ(p.share[i], 0)
+                        << "inactive thread " << i << " holds shares";
+                }
+            }
+        }
+    }
+}
 
 } // namespace
 } // namespace smthill
