@@ -13,6 +13,7 @@
 
 #include <cstdio>
 
+#include "core/machine_arena.hh"
 #include "harness/runner.hh"
 #include "harness/table.hh"
 #include "pipeline/cpu.hh"
@@ -44,6 +45,11 @@ main()
     std::printf("rows: mesa share; columns: vortex share; "
                 "cell: total IPC (fma3d gets the remainder)\n\n");
 
+    // One arena machine serves the whole serial walk: restoreFrom is
+    // a bit-exact rewind to the checkpoint, so every cell starts from
+    // the same warm state without a full SmtCpu copy per cell.
+    MachineArena arena(1);
+
     double best = 0.0;
     int best_mesa = 0, best_vortex = 0;
 
@@ -62,10 +68,7 @@ main()
                 std::printf(" %6s", "-");
                 continue;
             }
-            // Cell cost is dominated by trial.run; the copy is noise
-            // at this grid size. Converting the surface walk to the
-            // machine arena is an open cleanup.
-            SmtCpu trial = checkpoint; // smthill-lint: allow(cpu-copy-hot-path)
+            SmtCpu &trial = arena.acquire(0, checkpoint);
             Partition p;
             p.numThreads = 3;
             p.share = {m, v, f};

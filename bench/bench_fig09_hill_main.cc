@@ -7,13 +7,19 @@
  * +2.4% over DCRA, with larger gains on 2-thread (+3.3%) than
  * 4-thread (+0.4%) workloads and the biggest MEM2 gain (+5.1%).
  *
+ * The grid also races the full learner family on identical seeds:
+ * PHASE-HILL, BANDIT (UCB1 over the partition lattice), and RL
+ * (epsilon-greedy Q-learning over anchor moves) run the same
+ * workloads under the same weighted-IPC yardstick, so the table
+ * doubles as the learner-race result quoted in EXPERIMENTS.md.
+ *
  * Scale with SMTHILL_EPOCHS (default 64; the paper's 1B-instruction
  * windows correspond to thousands of epochs of learning time).
  *
  * SMTHILL_STATS_JSON=FILE additionally writes every cell as
- * `smthill.bench.fig09.v1` JSON, reparses the file, re-derives the
- * overall means and headline gains from the parsed cells, and fails
- * unless they are bit-identical to the stdout path.
+ * `smthill.bench.learner-race.v1` JSON, reparses the file, re-derives
+ * the overall means and headline gains from the parsed cells, and
+ * fails unless they are bit-identical to the stdout path.
  */
 
 #include <cstdio>
@@ -21,9 +27,12 @@
 #include "bench_common.hh"
 #include "core/hill_climbing.hh"
 #include "harness/table.hh"
+#include "phase/phase_hill.hh"
+#include "policy/bandit.hh"
 #include "policy/dcra.hh"
 #include "policy/flush.hh"
 #include "policy/icount.hh"
+#include "policy/rl_alloc.hh"
 
 using namespace smthill;
 using namespace smthill::benchutil;
@@ -40,7 +49,7 @@ main()
     // fills its own row, reduced/printed in workload order below.
     struct Row
     {
-        double icount, flush, dcra, hill;
+        double icount, flush, dcra, hill, phase, bandit, rl;
     };
     const std::vector<Workload> &workloads = allWorkloads();
     std::vector<Row> rows(workloads.size());
@@ -49,6 +58,10 @@ main()
         const Workload &w = workloads[i];
         auto solo = soloIpcs(w, rc, soloWindow(rc));
 
+        // Every learner in the race gets the same per-cell seed, so
+        // the comparison varies only the learning rule.
+        const std::uint64_t seed = rc.seedSalt + 1 + i;
+
         IcountPolicy icount;
         FlushPolicy flush;
         DcraPolicy dcra;
@@ -56,6 +69,19 @@ main()
         hc.epochSize = rc.epochSize;
         hc.metric = PerfMetric::WeightedIpc;
         HillClimbing hill(hc);
+        PhaseHillClimbing phase(hc);
+        BanditConfig bc;
+        bc.epochSize = rc.epochSize;
+        bc.metric = PerfMetric::WeightedIpc;
+        bc.seed = seed;
+        bc.singleIpc = solo;
+        BanditAllocator bandit(bc);
+        RlConfig rlc;
+        rlc.epochSize = rc.epochSize;
+        rlc.metric = PerfMetric::WeightedIpc;
+        rlc.seed = seed;
+        rlc.singleIpc = solo;
+        RlAllocator rl(rlc);
 
         Row &r = rows[i];
         r.icount = runPolicy(w, icount, rc)
@@ -66,10 +92,15 @@ main()
             runPolicy(w, dcra, rc).metric(PerfMetric::WeightedIpc, solo);
         r.hill =
             runPolicy(w, hill, rc).metric(PerfMetric::WeightedIpc, solo);
+        r.phase =
+            runPolicy(w, phase, rc).metric(PerfMetric::WeightedIpc, solo);
+        r.bandit = runPolicy(w, bandit, rc)
+                       .metric(PerfMetric::WeightedIpc, solo);
+        r.rl = runPolicy(w, rl, rc).metric(PerfMetric::WeightedIpc, solo);
     });
 
     Table t({"workload", "group", "ICOUNT", "FLUSH", "DCRA",
-             "HILL-WIPC"});
+             "HILL-WIPC", "PHASE", "BANDIT", "RL"});
     GroupMeans means;
     for (std::size_t i = 0; i < workloads.size(); ++i) {
         const Workload &w = workloads[i];
@@ -81,6 +112,9 @@ main()
         t.cell(r.flush);
         t.cell(r.dcra);
         t.cell(r.hill);
+        t.cell(r.phase);
+        t.cell(r.bandit);
+        t.cell(r.rl);
 
         for (const auto &key : {w.group, std::string("all"),
                                 std::string(w.numThreads() == 2 ? "2T"
@@ -89,16 +123,21 @@ main()
             means.add(key + "/FLUSH", r.flush);
             means.add(key + "/DCRA", r.dcra);
             means.add(key + "/HILL", r.hill);
+            means.add(key + "/PHASE", r.phase);
+            means.add(key + "/BANDIT", r.bandit);
+            means.add(key + "/RL", r.rl);
         }
     }
     t.print();
 
     std::printf("\ngroup means (weighted IPC):\n");
     for (const auto &g : workloadGroups()) {
-        std::printf("  %-5s ICOUNT=%.3f FLUSH=%.3f DCRA=%.3f HILL=%.3f\n",
+        std::printf("  %-5s ICOUNT=%.3f FLUSH=%.3f DCRA=%.3f HILL=%.3f "
+                    "PHASE=%.3f BANDIT=%.3f RL=%.3f\n",
                     g.c_str(), means.mean(g + "/ICOUNT"),
                     means.mean(g + "/FLUSH"), means.mean(g + "/DCRA"),
-                    means.mean(g + "/HILL"));
+                    means.mean(g + "/HILL"), means.mean(g + "/PHASE"),
+                    means.mean(g + "/BANDIT"), means.mean(g + "/RL"));
     }
 
     std::printf("\nHILL-WIPC gains (paper: +12.4%% / +11.3%% / +2.4%%):\n");
@@ -117,12 +156,21 @@ main()
     printGain("MEM2 over DCRA (paper +5.1%)", means.mean("MEM2/HILL"),
               means.mean("MEM2/DCRA"));
 
+    std::printf("\nlearner race (overall means vs HILL-WIPC):\n");
+    printGain("PHASE-HILL over HILL", means.mean("all/PHASE"),
+              means.mean("all/HILL"));
+    printGain("BANDIT over HILL", means.mean("all/BANDIT"),
+              means.mean("all/HILL"));
+    printGain("RL over HILL", means.mean("all/RL"),
+              means.mean("all/HILL"));
+
     const std::string export_path = statsJsonPath();
     if (!export_path.empty()) {
         Json doc = Json::object();
-        doc.set("schema", Json("smthill.bench.fig09.v1"));
+        doc.set("schema", Json("smthill.bench.learner-race.v1"));
         doc.set("epochs", Json(rc.epochs));
         doc.set("epoch_size", Json(rc.epochSize));
+        doc.set("seed", Json(rc.seedSalt));
         Json cells = Json::array();
         for (std::size_t i = 0; i < workloads.size(); ++i) {
             Json c = Json::object();
@@ -133,6 +181,9 @@ main()
             c.set("flush", Json(rows[i].flush));
             c.set("dcra", Json(rows[i].dcra));
             c.set("hill", Json(rows[i].hill));
+            c.set("phase_hill", Json(rows[i].phase));
+            c.set("bandit", Json(rows[i].bandit));
+            c.set("rl", Json(rows[i].rl));
             cells.push(std::move(c));
         }
         doc.set("cells", std::move(cells));
@@ -149,8 +200,12 @@ main()
             remeans.add("all/FLUSH", c.at("flush").asDouble());
             remeans.add("all/DCRA", c.at("dcra").asDouble());
             remeans.add("all/HILL", c.at("hill").asDouble());
+            remeans.add("all/PHASE", c.at("phase_hill").asDouble());
+            remeans.add("all/BANDIT", c.at("bandit").asDouble());
+            remeans.add("all/RL", c.at("rl").asDouble());
         }
-        for (const char *k : {"ICOUNT", "FLUSH", "DCRA", "HILL"})
+        for (const char *k : {"ICOUNT", "FLUSH", "DCRA", "HILL", "PHASE",
+                              "BANDIT", "RL"})
             checkExportValue(k,
                              remeans.mean(std::string("all/") + k),
                              means.mean(std::string("all/") + k));

@@ -8,6 +8,11 @@
  * learns with that same metric (+5.9% matched vs mismatched), a
  * capability the fixed-policy baselines lack.
  *
+ * The grid also runs the alternative learners with their reward
+ * selected from the same three metrics (BANDIT-* via UCB1 arm
+ * rewards, RL-* via Q-learning rewards), so the matched-diagonal
+ * question is asked of every learning rule, not just hill climbing.
+ *
  * Results are summarized by workload group, as in the paper.
  * Scale with SMTHILL_EPOCHS (default 32).
  */
@@ -17,9 +22,11 @@
 #include "bench_common.hh"
 #include "core/hill_climbing.hh"
 #include "harness/table.hh"
+#include "policy/bandit.hh"
 #include "policy/dcra.hh"
 #include "policy/flush.hh"
 #include "policy/icount.hh"
+#include "policy/rl_alloc.hh"
 
 using namespace smthill;
 using namespace smthill::benchutil;
@@ -34,24 +41,45 @@ main()
     const PerfMetric metrics[] = {PerfMetric::WeightedIpc,
                                   PerfMetric::AvgIpc,
                                   PerfMetric::HarmonicWeightedIpc};
-    const char *policy_names[] = {"ICOUNT", "FLUSH",    "DCRA",
-                                  "HILL-IPC", "HILL-WIPC", "HILL-HWIPC"};
+    const char *policy_names[] = {
+        "ICOUNT",      "FLUSH",      "DCRA",
+        "HILL-IPC",    "HILL-WIPC",  "HILL-HWIPC",
+        "BANDIT-IPC",  "BANDIT-WIPC", "BANDIT-HWIPC",
+        "RL-IPC",      "RL-WIPC",    "RL-HWIPC",
+    };
+    constexpr int kNumPolicies =
+        static_cast<int>(sizeof(policy_names) / sizeof(policy_names[0]));
+
+    // Learning metric for the learner columns (3..11): each family
+    // cycles IPC / WIPC / HWIPC in the same order.
+    auto learnMetric = [](int pi) {
+        switch ((pi - 3) % 3) {
+          case 0:
+            return PerfMetric::AvgIpc;
+          case 1:
+            return PerfMetric::WeightedIpc;
+          default:
+            return PerfMetric::HarmonicWeightedIpc;
+        }
+    };
 
     // results[policy][eval_metric][group] accumulated as means.
     GroupMeans means;
 
     // The grid is workload x policy: every cell builds its own
-    // policy and machine, so all 6 x |workloads| runs are
+    // policy and machine, so all kNumPolicies x |workloads| runs are
     // independent; evaluation values land in per-cell slots and the
     // means accumulate serially afterwards.
     const std::vector<Workload> &workloads = allWorkloads();
-    const std::size_t cells = workloads.size() * 6;
+    const std::size_t cells = workloads.size() * kNumPolicies;
     std::vector<std::array<double, 3>> values(cells);
 
     runGrid(cells, rc.jobs, [&](std::size_t cell) {
-        const Workload &w = workloads[cell / 6];
-        const int pi = static_cast<int>(cell % 6);
+        const Workload &w = workloads[cell / kNumPolicies];
+        const int pi = static_cast<int>(cell % kNumPolicies);
         auto solo = soloIpcs(w, rc, soloWindow(rc));
+        const std::uint64_t seed =
+            rc.seedSalt + 1 + cell / kNumPolicies;
 
         std::unique_ptr<ResourcePolicy> policy;
         switch (pi) {
@@ -64,13 +92,33 @@ main()
           case 2:
             policy = std::make_unique<DcraPolicy>();
             break;
-          default: {
+          case 3:
+          case 4:
+          case 5: {
             HillConfig hc;
             hc.epochSize = rc.epochSize;
-            hc.metric = pi == 3   ? PerfMetric::AvgIpc
-                        : pi == 4 ? PerfMetric::WeightedIpc
-                                  : PerfMetric::HarmonicWeightedIpc;
+            hc.metric = learnMetric(pi);
             policy = std::make_unique<HillClimbing>(hc);
+            break;
+          }
+          case 6:
+          case 7:
+          case 8: {
+            BanditConfig bc;
+            bc.epochSize = rc.epochSize;
+            bc.metric = learnMetric(pi);
+            bc.seed = seed;
+            bc.singleIpc = solo;
+            policy = std::make_unique<BanditAllocator>(bc);
+            break;
+          }
+          default: {
+            RlConfig rlc;
+            rlc.epochSize = rc.epochSize;
+            rlc.metric = learnMetric(pi);
+            rlc.seed = seed;
+            rlc.singleIpc = solo;
+            policy = std::make_unique<RlAllocator>(rlc);
           }
         }
         RunResult res = runPolicy(w, *policy, rc);
@@ -79,8 +127,8 @@ main()
     });
 
     for (std::size_t cell = 0; cell < cells; ++cell) {
-        const Workload &w = workloads[cell / 6];
-        const int pi = static_cast<int>(cell % 6);
+        const Workload &w = workloads[cell / kNumPolicies];
+        const int pi = static_cast<int>(cell % kNumPolicies);
         for (int mi = 0; mi < 3; ++mi) {
             double v = values[cell][mi];
             means.add(std::string(policy_names[pi]) + "/" +
@@ -112,23 +160,29 @@ main()
     }
 
     // The matched-metric diagonal (paper: matched beats mismatched by
-    // ~5.9% on average).
-    std::printf("\nmatched vs mismatched learning metric (overall):\n");
-    const char *hill_names[] = {"HILL-IPC", "HILL-WIPC", "HILL-HWIPC"};
+    // ~5.9% on average), asked of every learning rule in the race.
     const char *eval_names[] = {"IPC", "WIPC", "HWIPC"};
-    for (int e = 0; e < 3; ++e) {
-        double matched = means.mean(std::string(hill_names[e]) + "/" +
-                                    eval_names[e] + "/all");
-        double mism = 0.0;
-        for (int l = 0; l < 3; ++l)
-            if (l != e)
-                mism += means.mean(std::string(hill_names[l]) + "/" +
-                                   eval_names[e] + "/all");
-        mism /= 2.0;
-        std::printf("  eval %-6s matched=%.3f mismatched=%.3f "
-                    "(%+.1f%%)\n",
-                    eval_names[e], matched, mism,
-                    pctGain(matched, mism));
+    const char *families[] = {"HILL", "BANDIT", "RL"};
+    for (const char *fam : families) {
+        std::printf("\n%s matched vs mismatched learning metric "
+                    "(overall):\n",
+                    fam);
+        for (int e = 0; e < 3; ++e) {
+            double matched = means.mean(std::string(fam) + "-" +
+                                        eval_names[e] + "/" +
+                                        eval_names[e] + "/all");
+            double mism = 0.0;
+            for (int l = 0; l < 3; ++l)
+                if (l != e)
+                    mism += means.mean(std::string(fam) + "-" +
+                                       eval_names[l] + "/" +
+                                       eval_names[e] + "/all");
+            mism /= 2.0;
+            std::printf("  eval %-6s matched=%.3f mismatched=%.3f "
+                        "(%+.1f%%)\n",
+                        eval_names[e], matched, mism,
+                        pctGain(matched, mism));
+        }
     }
     return 0;
 }

@@ -24,6 +24,9 @@
 #include "bench_common.hh"
 #include "harness/sync_runner.hh"
 #include "harness/table.hh"
+#include "phase/phase_hill.hh"
+#include "policy/bandit.hh"
+#include "policy/rl_alloc.hh"
 
 using namespace smthill;
 using namespace smthill::benchutil;
@@ -121,6 +124,46 @@ main()
                 "closely; TL misses during abrupt shifts; SL risks\n"
                 "non-maximal peaks; JL re-course-corrects under "
                 "inter-epoch jitter (Section 4.4.1).\n");
+
+    // Learner race per representative behavior: the full family on
+    // identical machines and seeds, evaluated under weighted IPC.
+    // Shows which behaviors reward memory (PHASE), lattice search
+    // (BANDIT), or state-action credit (RL) over plain climbing.
+    std::printf("\nlearner race per representative workload "
+                "(weighted IPC):\n");
+    Table race({"workload", "behavior", "HILL", "PHASE", "BANDIT",
+                "RL"});
+    for (const auto &[wname, label] : cases) {
+        const Workload &w = workloadByName(wname);
+        auto solo = soloIpcs(w, rc, soloWindow(rc));
+
+        HillConfig hc;
+        hc.epochSize = rc.epochSize;
+        hc.metric = PerfMetric::WeightedIpc;
+        HillClimbing hill(hc);
+        PhaseHillClimbing phase(hc);
+        BanditConfig bc;
+        bc.epochSize = rc.epochSize;
+        bc.metric = PerfMetric::WeightedIpc;
+        bc.seed = rc.seedSalt + 1;
+        bc.singleIpc = solo;
+        BanditAllocator bandit(bc);
+        RlConfig rlc;
+        rlc.epochSize = rc.epochSize;
+        rlc.metric = PerfMetric::WeightedIpc;
+        rlc.seed = rc.seedSalt + 1;
+        rlc.singleIpc = solo;
+        RlAllocator rl(rlc);
+
+        race.beginRow();
+        race.cell(std::string(wname));
+        race.cell(std::string(label, 2));
+        ResourcePolicy *const racers[] = {&hill, &phase, &bandit, &rl};
+        for (ResourcePolicy *p : racers)
+            race.cell(runPolicy(w, *p, rc)
+                          .metric(PerfMetric::WeightedIpc, solo));
+    }
+    race.print();
 
     if (!trace_path.empty())
         writeEventTrace(event_trace, trace_path);

@@ -4,13 +4,19 @@
  * process, attach to free hardware contexts, run a bounded
  * instruction stream, and depart. The lambda sweep crosses three
  * arrival intensities (mean inter-arrival gap 64K / 16K / 4K cycles)
- * with four policies (ICOUNT, DCRA, HILL, PHASE-HILL) and reports
- * job throughput, sojourn-latency tails (p50/p95/p99), and Jain
- * fairness over priority-weighted per-job IPCs — the serving-system
- * regime the paper's closed 2-4-thread mixes cannot exercise.
+ * with six policies (ICOUNT, DCRA, HILL, PHASE-HILL, BANDIT, RL) —
+ * the full learner family racing on identical arrival schedules —
+ * and reports job throughput, sojourn-latency tails (p50/p95/p99),
+ * and Jain fairness over priority-weighted per-job IPCs: the
+ * serving-system regime the paper's closed 2-4-thread mixes cannot
+ * exercise.
  *
- * Every cell is an independent deterministic run, so results are
- * bit-identical across SMTHILL_JOBS settings and same-seed reruns.
+ * Cells share one cold-machine checkpoint through a MachineArena
+ * (restoreFrom per cell instead of full construction), which is
+ * bit-identical to fresh construction because the cold machine is a
+ * pure function of the machine shape. Every cell is an independent
+ * deterministic run, so results are bit-identical across
+ * SMTHILL_JOBS settings and same-seed reruns.
  * Scale with SMTHILL_OS_JOBS (jobs per run, default 12) and
  * SMTHILL_SEED; export with SMTHILL_STATS_JSON
  * (`smthill.bench.open-system.v1`); trace one run with
@@ -22,10 +28,13 @@
 
 #include "bench_common.hh"
 #include "core/hill_climbing.hh"
+#include "core/machine_arena.hh"
 #include "harness/table.hh"
 #include "phase/phase_hill.hh"
+#include "policy/bandit.hh"
 #include "policy/dcra.hh"
 #include "policy/icount.hh"
+#include "policy/rl_alloc.hh"
 #include "workload/open_system.hh"
 
 using namespace smthill;
@@ -34,10 +43,10 @@ using namespace smthill::benchutil;
 namespace
 {
 
-constexpr int kNumPolicies = 4;
+constexpr int kNumPolicies = 6;
 
 std::unique_ptr<ResourcePolicy>
-makePolicy(int pi, Cycle epoch_size)
+makePolicy(int pi, Cycle epoch_size, std::uint64_t seed)
 {
     switch (pi) {
       case 0:
@@ -49,10 +58,22 @@ makePolicy(int pi, Cycle epoch_size)
         hc.epochSize = epoch_size;
         return std::make_unique<HillClimbing>(hc);
       }
-      default: {
+      case 3: {
         HillConfig hc;
         hc.epochSize = epoch_size;
         return std::make_unique<PhaseHillClimbing>(hc);
+      }
+      case 4: {
+        BanditConfig bc;
+        bc.epochSize = epoch_size;
+        bc.seed = seed;
+        return std::make_unique<BanditAllocator>(bc);
+      }
+      default: {
+        RlConfig rc;
+        rc.epochSize = epoch_size;
+        rc.seed = seed;
+        return std::make_unique<RlAllocator>(rc);
       }
     }
 }
@@ -80,21 +101,31 @@ main()
 
     const Cycle mean_gaps[] = {64 * 1024, 16 * 1024, 4 * 1024};
     const char *policy_names[] = {"ICOUNT", "DCRA", "HILL",
-                                  "PHASE-HILL"};
+                                  "PHASE-HILL", "BANDIT", "RL"};
     constexpr std::size_t kNumGaps =
         sizeof(mean_gaps) / sizeof(mean_gaps[0]);
 
     const std::size_t cells = kNumGaps * kNumPolicies;
     std::vector<OpenSystemResult> results(cells);
 
-    runGrid(cells, benchJobs(), [&](std::size_t cell) {
+    // Warm-machine fast path: the cold machine every cell starts
+    // from is identical across the sweep (same shape, same pool), so
+    // build it once and restore per worker instead of reconstructing
+    // the cache hierarchy and predictors cells-times over.
+    const int jobs = benchJobs();
+    OpenSystem proto(machine, base);
+    const SmtCpu checkpoint = proto.makeMachine();
+    MachineArena arena(jobs);
+
+    runGridWorker(cells, jobs, [&](std::size_t cell, int worker) {
         const Cycle gap = mean_gaps[cell / kNumPolicies];
         const int pi = static_cast<int>(cell % kNumPolicies);
         OpenSystemConfig cfg = base;
         cfg.arrivalRate = 1.0 / static_cast<double>(gap);
         OpenSystem sys(machine, cfg);
-        auto policy = makePolicy(pi, cfg.epochSize);
-        results[cell] = sys.run(*policy);
+        auto policy = makePolicy(pi, cfg.epochSize, base.seed);
+        SmtCpu &cpu = arena.acquire(worker, checkpoint);
+        results[cell] = sys.runOn(cpu, *policy);
     });
 
     for (std::size_t gi = 0; gi < kNumGaps; ++gi) {
@@ -129,7 +160,7 @@ main()
         cfg.arrivalRate =
             1.0 / static_cast<double>(mean_gaps[kNumGaps - 1]);
         OpenSystem sys(machine, cfg);
-        auto policy = makePolicy(2, cfg.epochSize);
+        auto policy = makePolicy(2, cfg.epochSize, base.seed);
         EventTrace trace;
         trace.processName(1, "open-system HILL");
         sys.run(*policy, &trace, 1);

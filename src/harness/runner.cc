@@ -245,6 +245,14 @@ runGrid(std::size_t cells, int jobs,
     pool.parallelFor(cells, cell);
 }
 
+void
+runGridWorker(std::size_t cells, int jobs,
+              const std::function<void(std::size_t, int)> &cell)
+{
+    ThreadPool pool(jobs);
+    pool.parallelForWorker(cells, cell);
+}
+
 std::uint64_t
 envScale(const char *name, std::uint64_t def)
 {

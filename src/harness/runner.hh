@@ -129,6 +129,17 @@ std::array<double, kMaxThreads> soloIpcs(const Workload &workload,
 void runGrid(std::size_t cells, int jobs,
              const std::function<void(std::size_t)> &cell);
 
+/**
+ * runGrid variant that also hands the cell its executing lane id
+ * (calling thread 0, pool threads 1..jobs-1; see
+ * ThreadPool::parallelForWorker). A worker id is never active on two
+ * cells at once, so cells can use per-worker scratch — notably a
+ * MachineArena machine restored from a shared checkpoint — without
+ * synchronization and without changing results versus runGrid.
+ */
+void runGridWorker(std::size_t cells, int jobs,
+                   const std::function<void(std::size_t, int)> &cell);
+
 /** Read an integer knob from the environment (benches scaling). */
 std::uint64_t envScale(const char *name, std::uint64_t def);
 

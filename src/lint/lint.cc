@@ -74,17 +74,20 @@ srcModule(const std::vector<std::string> &parts)
 
 /**
  * Module layering ranks: an include from module A to module B is
- * legal iff rank(B) <= rank(A). Equal ranks name sibling leaf
- * modules that never include each other in practice; the rule only
- * rejects strictly upward edges.
+ * legal iff rank(B) <= rank(A). Equal ranks name sibling modules
+ * that may include each other laterally — the rank-40 group
+ * (policy/workload/core) is cyclic by design: core's learners
+ * implement the policy interface, policy's bandit/RL learners reuse
+ * core's partition lattice, and workload's open system drives any
+ * policy. The rule only rejects strictly upward edges.
  */
 int
 moduleRank(const std::string &module)
 {
     static const std::map<std::string, int> ranks = {
         {"common", 0},  {"trace", 10},    {"branch", 10},
-        {"memory", 10}, {"pipeline", 20}, {"policy", 30},
-        {"workload", 30}, {"core", 40},   {"phase", 50},
+        {"memory", 10}, {"pipeline", 20}, {"policy", 40},
+        {"workload", 40}, {"core", 40},   {"phase", 50},
         {"harness", 60}, {"validate", 70}, {"lint", 80},
     };
     auto it = ranks.find(module);
@@ -257,8 +260,17 @@ schemaFieldsFor(const std::string &path)
         return &eventsV1;
     if (endsWith(path, "workload/open_system.cc"))
         return &openSystemEvents;
+    // smthill.bench.learner-race.v1 (bench/bench_fig09_hill_main.cc)
+    static const std::set<std::string> learnerRaceV1 = {
+        "schema",     "epochs",   "epoch_size", "seed",
+        "cells",      "workload", "group",      "threads",
+        "icount",     "flush",    "dcra",       "hill",
+        "phase_hill", "bandit",   "rl",         "counters",
+    };
     if (endsWith(path, "bench/bench_open_system.cc"))
         return &benchOpenSystemV1;
+    if (endsWith(path, "bench/bench_fig09_hill_main.cc"))
+        return &learnerRaceV1;
     return nullptr;
 }
 

@@ -1,6 +1,7 @@
 #include "validate/diff_fuzz.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <memory>
 #include <utility>
 
@@ -14,8 +15,10 @@
 #include "phase/markov_predictor.hh"
 #include "phase/phase_hill.hh"
 #include "phase/phase_table.hh"
+#include "policy/bandit.hh"
 #include "policy/dcra.hh"
 #include "policy/flush.hh"
+#include "policy/rl_alloc.hh"
 #include "validate/checked_cpu.hh"
 #include "workload/open_system.hh"
 
@@ -82,6 +85,54 @@ buildFuzzCpu(const FuzzCase &c)
     SmtCpu cpu(c.machine, c.workload.makeGenerators(c.seed));
     cpu.run(c.warmup);
     return cpu;
+}
+
+/** Stage H learner-family names, indexed like FuzzCase::learnerA. */
+const char *
+learnerName(int which)
+{
+    switch (which % 5) {
+      case 0: return "HILL";
+      case 1: return "PHASE-HILL";
+      case 2: return "BANDIT-UCB";
+      case 3: return "BANDIT-EXP3";
+      default: return "RL-Q";
+    }
+}
+
+/** Build the @p which-th learner of the stage H family for @p c. */
+std::unique_ptr<ResourcePolicy>
+makeLearner(const FuzzCase &c, int which)
+{
+    switch (which % 5) {
+      case 0:
+        return std::make_unique<HillClimbing>(c.hill);
+      case 1:
+        return std::make_unique<PhaseHillClimbing>(c.hill);
+      case 2:
+      case 3: {
+        BanditConfig b;
+        b.epochSize = c.hill.epochSize;
+        b.stride = std::max(c.hill.minShare,
+                            std::max(1, c.machine.intRegs / 8));
+        b.metric = c.hill.metric;
+        b.softwareCost = c.hill.softwareCost;
+        b.minShare = c.hill.minShare;
+        b.algo = which % 5 == 2 ? BanditAlgo::Ucb1 : BanditAlgo::Exp3;
+        b.seed = c.seed;
+        return std::make_unique<BanditAllocator>(b);
+      }
+      default: {
+        RlConfig q;
+        q.epochSize = c.hill.epochSize;
+        q.delta = c.hill.delta;
+        q.metric = c.hill.metric;
+        q.softwareCost = c.hill.softwareCost;
+        q.minShare = c.hill.minShare;
+        q.seed = c.seed;
+        return std::make_unique<RlAllocator>(q);
+      }
+    }
 }
 
 std::unique_ptr<ResourcePolicy>
@@ -730,6 +781,131 @@ stageOpenSystemChurn(const FuzzCase &c, FuzzResult &r)
     }
 }
 
+// --- Stage H: cross-learner differential ---------------------------
+
+void
+stageLearnerPairDiff(const FuzzCase &c, FuzzResult &r)
+{
+    static const char *kStage = "H.learner-pair";
+
+    // Phase-free machine, stage-F construction with its own draw
+    // stream so F's scenarios stay byte-identical.
+    Rng rng(c.seed ^ 0x48AA48AAu);
+    std::vector<StreamGenerator> gens;
+    for (int i = 0; i < c.machine.numThreads; ++i) {
+        ProfileParams pp;
+        pp.name = msg("fuzz-pair-", i);
+        pp.seed = c.seed * 1000 + static_cast<std::uint64_t>(i) + 1;
+        pp.freqClass = 0;
+        pp.phaseSwing = 0.0;
+        pp.numBlocks = 8 + static_cast<int>(rng.nextBelow(17));
+        pp.avgBlockLen = 6 + static_cast<int>(rng.nextBelow(7));
+        pp.loadFrac = 0.20 + 0.10 * rng.nextDouble();
+        pp.serialFrac = 0.20 + 0.30 * rng.nextDouble();
+        pp.pLoadWarm = 0.01 * rng.nextDouble();
+        pp.pLoadCold = 0.002 * rng.nextDouble();
+        gens.emplace_back(buildProfile(pp),
+                          static_cast<std::uint64_t>(i));
+    }
+    SmtCpu flat(c.machine, std::move(gens));
+    flat.run(16 * 1024);
+
+    const int pair[2] = {c.learnerA, c.learnerB};
+    std::array<Cycle, 2> finalCycle{};
+    std::array<std::size_t, 2> traceLen{};
+    for (int k = 0; k < 2; ++k) {
+        const char *who = learnerName(pair[k]);
+        std::unique_ptr<ResourcePolicy> p = makeLearner(c, pair[k]);
+        std::unique_ptr<ResourcePolicy> q = p->clone();
+        EpochTracer tracer;
+        p->setEpochTracer(&tracer);
+        EventTrace evt;
+        p->setEventTrace(&evt, 0);
+
+        // Clone determinism: a fresh clone must replay the original
+        // bit for bit — including the bandit/RL rng stream position.
+        RunResult ra =
+            runPolicyOn(flat, *p, c.epochs, c.hill.epochSize);
+        RunResult rb =
+            runPolicyOn(flat, *q, c.epochs, c.hill.epochSize);
+        compareRuns(r, kStage, who, ra, rb, c.machine.numThreads);
+        finalCycle[k] = ra.finalSnapshot.cycle;
+        traceLen[k] = tracer.size();
+
+        // The decision-audit event stream must be internally sane.
+        InvariantChecker chk;
+        chk.checkEventStream(evt.events());
+        drainChecker(r, kStage, chk);
+
+        // Epoch-trace sanity: one record per boundary; any installed
+        // partition conserves the register file; metrics are finite.
+        if (tracer.size() != static_cast<std::size_t>(c.epochs)) {
+            finding(r, kStage, "trace_length",
+                    msg(who, " traced ", tracer.size(), " epochs of ",
+                        c.epochs));
+        }
+        for (std::size_t e = 0; e < tracer.size(); ++e) {
+            const EpochTraceRecord &rec = tracer.records()[e];
+            if (rec.partitioned &&
+                rec.trial.total() != c.machine.intRegs) {
+                finding(r, kStage, "partition_conservation",
+                        msg(who, " epoch ", e, " ran partition ",
+                            rec.trial.str(), ", register file ",
+                            c.machine.intRegs));
+            }
+            if (!std::isfinite(rec.metricValue)) {
+                finding(r, kStage, "metric_finite",
+                        msg(who, " epoch ", e,
+                            " has non-finite metric value"));
+            }
+        }
+    }
+
+    // The pair runs the same machine on the same cadence: epoch
+    // bookkeeping (not learning decisions) must align exactly.
+    if (finalCycle[0] != finalCycle[1]) {
+        finding(r, kStage, "cycle_alignment",
+                msg(learnerName(pair[0]), " ended at cycle ",
+                    finalCycle[0], ", ", learnerName(pair[1]), " at ",
+                    finalCycle[1]));
+    }
+    if (traceLen[0] != traceLen[1]) {
+        finding(r, kStage, "trace_alignment",
+                msg(learnerName(pair[0]), " traced ", traceLen[0],
+                    " epochs, ", learnerName(pair[1]), " traced ",
+                    traceLen[1]));
+    }
+
+    // Churn leg: each learner of the pair survives a randomized
+    // arrival schedule with exact job accounting, and a cloned rerun
+    // stays bit-identical.
+    OpenSystemConfig oc;
+    oc.seed = c.seed ^ 0x48AA0001u;
+    oc.arrivalRate = 1.0 / static_cast<double>(c.osMeanGap);
+    oc.numJobs = c.osJobs;
+    oc.minJobInstructions = 3 * 1024;
+    oc.maxJobInstructions = 8 * 1024;
+    oc.epochSize = c.hill.epochSize;
+    oc.horizon = 256 * 1024;
+    oc.slaWeights = c.osSla;
+    OpenSystem sys(c.machine, oc);
+    for (int k = 0; k < 2; ++k) {
+        std::unique_ptr<ResourcePolicy> p = makeLearner(c, pair[k]);
+        std::unique_ptr<ResourcePolicy> q = p->clone();
+        OpenSystemResult r1 = sys.run(*p);
+        checkJobAccounting(c, r, kStage, r1);
+        OpenSystemResult r2 = sys.run(*q);
+        if (!sameOpenSystemRun(r1, r2)) {
+            finding(r, kStage, "churn_rerun_divergence",
+                    msg(learnerName(pair[k]),
+                        ": same-config churn rerun diverged (",
+                        r1.cycles, " vs ", r2.cycles, " cycles, ",
+                        r1.committedTotal, " vs ", r2.committedTotal,
+                        " committed)"));
+        }
+    }
+}
+
 } // namespace
 
 // --- Case construction ---------------------------------------------
@@ -807,6 +983,13 @@ makeFuzzCase(std::uint64_t seed)
     c.osJobs = 3 + static_cast<int>(rng.nextBelow(3)); // 3..5 jobs
     c.osMeanGap = Cycle{1024} << rng.nextBelow(3);     // 1K/2K/4K
     c.osSla = rng.chance(0.5);
+
+    // Stage H draws come last for the same reason: the learner pair
+    // extends the schema without disturbing any A-G expansion.
+    c.learnerA = static_cast<int>(rng.nextBelow(5));
+    c.learnerB = static_cast<int>(rng.nextBelow(4));
+    if (c.learnerB >= c.learnerA)
+        ++c.learnerB; // uniform over distinct pairs
     return c;
 }
 
@@ -820,7 +1003,8 @@ FuzzCase::str() const
                " delta=", hill.delta, " minShare=", hill.minShare,
                " epochs=", epochs, " warmup=", warmup, " stride=",
                offlineStride, " osJobs=", osJobs, " osGap=", osMeanGap,
-               " osSla=", osSla);
+               " osSla=", osSla, " pair=", learnerName(learnerA), "/",
+               learnerName(learnerB));
 }
 
 std::string
@@ -849,6 +1033,7 @@ runFuzzCase(const FuzzCase &c)
     stageOfflineJobs(c, r, warm);
     stagePhaseFreeDiff(c, r);
     stageOpenSystemChurn(c, r);
+    stageLearnerPairDiff(c, r);
     return r;
 }
 

@@ -31,7 +31,16 @@
  *     committed sums to the machine total), periodic invariant
  *     sweeps must stay clean under churn, a same-config rerun must
  *     be bit-identical, and a 2-cell runGrid sweep must match at
- *     jobs == 1 vs jobs == 3.
+ *     jobs == 1 vs jobs == 3;
+ *  H. cross-learner differential: a randomly drawn pair from the
+ *     full learner family (HILL, PHASE-HILL, BANDIT-UCB,
+ *     BANDIT-EXP3, RL-Q) runs the same phase-free machine. Each
+ *     learner must replay bit-identically under a fresh clone, emit
+ *     an internally sane event stream, and trace one record per
+ *     epoch whose installed partitions conserve the register file;
+ *     the pair must agree on epoch cadence (final cycle and trace
+ *     length), and each learner must survive a churn scenario with
+ *     exact job accounting and a bit-identical cloned rerun.
  *
  * Failures come back as FuzzFindings tagged with their stage; a
  * failing case can be shrunk with minimizeFuzzCase, whose output is
@@ -69,6 +78,13 @@ struct FuzzCase
     int osJobs = 4;          ///< arrival-schedule length
     Cycle osMeanGap = 4096;  ///< mean inter-arrival gap, cycles
     bool osSla = false;      ///< draw per-job SLA weights
+
+    // Stage H learner pair (drawn after the stage G fields so older
+    // seeds keep expanding to the same A-G scenarios). Indices into
+    // the learner family: 0 HILL, 1 PHASE-HILL, 2 BANDIT-UCB,
+    // 3 BANDIT-EXP3, 4 RL-Q; always distinct.
+    int learnerA = 0;
+    int learnerB = 1;
 
     /** One-line description for logs and reproducer reports. */
     std::string str() const;

@@ -76,8 +76,8 @@ OpenSystem::OpenSystem(const SmtConfig &machine,
     }
 }
 
-OpenSystemResult
-OpenSystem::run(ResourcePolicy &policy, EventTrace *trace, int trace_pid)
+SmtCpu
+OpenSystem::makeMachine() const
 {
     int nt = machineConfig.numThreads;
 
@@ -91,7 +91,22 @@ OpenSystem::run(ResourcePolicy &policy, EventTrace *trace, int trace_pid)
     for (int i = 0; i < nt; ++i)
         gens.emplace_back(specProfile(pool[0]), 0);
 
-    SmtCpu cpu(machineConfig, std::move(gens));
+    return SmtCpu(machineConfig, std::move(gens));
+}
+
+OpenSystemResult
+OpenSystem::run(ResourcePolicy &policy, EventTrace *trace, int trace_pid)
+{
+    SmtCpu cpu = makeMachine();
+    return runOn(cpu, policy, trace, trace_pid);
+}
+
+OpenSystemResult
+OpenSystem::runOn(SmtCpu &cpu, ResourcePolicy &policy, EventTrace *trace,
+                  int trace_pid)
+{
+    int nt = machineConfig.numThreads;
+
     if (!trace && policy.eventTrace()) {
         trace = policy.eventTrace();
         trace_pid = policy.eventTracePid();

@@ -185,6 +185,25 @@ class OpenSystem
     OpenSystemResult run(ResourcePolicy &policy, EventTrace *trace = nullptr,
                          int trace_pid = 1);
 
+    /**
+     * The cold machine run() starts from: placeholder generators on
+     * every context (replaced via resetContext before a context ever
+     * runs), cycle 0, all counters zero. A pure function of the
+     * machine shape and benchmark pool, so sweeps can build it once
+     * and restore it per cell (MachineArena) instead of paying the
+     * full construction per run.
+     */
+    SmtCpu makeMachine() const;
+
+    /**
+     * Run the scenario on @p cpu, which must be in the makeMachine()
+     * state (fresh or arena-restored — restoreFrom drops tracers and
+     * observers, runOn re-wires them). run() is exactly makeMachine()
+     * + runOn(); the two paths are bit-identical.
+     */
+    OpenSystemResult runOn(SmtCpu &cpu, ResourcePolicy &policy,
+                           EventTrace *trace = nullptr, int trace_pid = 1);
+
   private:
     SmtConfig machineConfig;
     OpenSystemConfig cfg;

@@ -11,9 +11,14 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "core/machine_arena.hh"
 #include "core/offline_exhaustive.hh"
+#include "harness/runner.hh"
 #include "pipeline/cpu.hh"
+#include "policy/bandit.hh"
+#include "policy/rl_alloc.hh"
 #include "trace/spec_profiles.hh"
 #include "validate/invariants.hh"
 
@@ -147,6 +152,62 @@ TEST(CheckpointRestore, ArenaReuseStaysBitIdenticalAcrossRounds)
             }
             expectMachinesEqual(reference, trial);
         }
+    }
+}
+
+/**
+ * Clone determinism for the new learners: a clone() taken before
+ * attach carries the same config and Rng stream position, so running
+ * original and clone from value copies of one checkpoint — and from
+ * an arena-restored machine — must be bit-identical in every epoch
+ * record and machine end state.
+ */
+TEST(CheckpointRestore, NewLearnerClonesReplayBitIdentically)
+{
+    SmtCpu cpu = makeMachine({"art", "mcf"});
+    cpu.run(50000);
+    const SmtCpu checkpoint = cpu;
+    const Cycle epoch_size = 8 * 1024;
+
+    std::vector<std::unique_ptr<ResourcePolicy>> learners;
+    BanditConfig ucb;
+    ucb.epochSize = epoch_size;
+    ucb.seed = 9;
+    learners.push_back(std::make_unique<BanditAllocator>(ucb));
+    BanditConfig exp3 = ucb;
+    exp3.algo = BanditAlgo::Exp3;
+    learners.push_back(std::make_unique<BanditAllocator>(exp3));
+    RlConfig rlc;
+    rlc.epochSize = epoch_size;
+    rlc.epsilon = 0.3;
+    rlc.seed = 9;
+    learners.push_back(std::make_unique<RlAllocator>(rlc));
+
+    MachineArena arena(1);
+    for (auto &p : learners) {
+        auto q = p->clone();
+        RunResult a = runPolicyOn(checkpoint, *p, 4, epoch_size);
+
+        SmtCpu &warm = arena.acquire(0, checkpoint);
+        // runPolicyOn copies its machine argument, so the arena
+        // machine doubles as the restored-path starting point.
+        RunResult b = runPolicyOn(warm, *q, 4, epoch_size);
+
+        ASSERT_EQ(a.epochs.size(), b.epochs.size()) << p->name();
+        for (std::size_t e = 0; e < a.epochs.size(); ++e) {
+            EXPECT_EQ(a.epochs[e].partition, b.epochs[e].partition)
+                << p->name() << " epoch " << e;
+            for (int t = 0; t < a.epochs[e].ipc.numThreads; ++t)
+                EXPECT_EQ(a.epochs[e].ipc.ipc[t],
+                          b.epochs[e].ipc.ipc[t])
+                    << p->name() << " epoch " << e << " thread " << t;
+        }
+        EXPECT_EQ(a.finalSnapshot.cycle, b.finalSnapshot.cycle)
+            << p->name();
+        for (int t = 0; t < a.finalSnapshot.numThreads; ++t)
+            EXPECT_EQ(a.finalSnapshot.stats.committed[t],
+                      b.finalSnapshot.stats.committed[t])
+                << p->name() << " thread " << t;
     }
 }
 

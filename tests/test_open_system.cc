@@ -10,12 +10,16 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <memory>
 #include <vector>
 
 #include "core/hill_climbing.hh"
+#include "core/machine_arena.hh"
 #include "harness/report.hh"
+#include "policy/bandit.hh"
 #include "policy/icount.hh"
+#include "policy/rl_alloc.hh"
 #include "trace/spec_profiles.hh"
 #include "validate/invariants.hh"
 #include "workload/open_system.hh"
@@ -248,6 +252,101 @@ TEST(OpenSystemRun, HorizonClosesOutResidentJobs)
         }
     }
     EXPECT_DOUBLE_EQ(jobThroughput(res), 0.0);
+}
+
+/**
+ * Regression (satellite 3): jobs so short they attach AND depart
+ * between two epoch boundaries — zero full-residency epochs. Every
+ * report row and masked metric must stay finite: per-job rates
+ * divide by the job's own residency (>= 1 by construction), never by
+ * elapsed-epoch quantities that round to zero for sub-epoch lives.
+ * Pinned for the whole learner family, whose epoch() measurement
+ * only ever sees these jobs as partial-residency contributions.
+ */
+TEST(OpenSystemRun, SubEpochJobsKeepReportAndMetricsFinite)
+{
+    OpenSystemConfig oc;
+    oc.seed = 7;
+    oc.arrivalRate = 1.0 / 1024.0;
+    oc.numJobs = 12;
+    oc.minJobInstructions = 50; // lives measured in hundreds of cycles
+    oc.maxJobInstructions = 200;
+    oc.epochSize = 256 * 1024;  // boundaries measured in hundreds of K
+    oc.horizon = 2'000'000;
+    OpenSystem sys(smallMachine(4), oc);
+
+    std::vector<std::unique_ptr<ResourcePolicy>> learners;
+    HillConfig hc;
+    hc.epochSize = oc.epochSize;
+    learners.push_back(std::make_unique<HillClimbing>(hc));
+    BanditConfig bc;
+    bc.epochSize = oc.epochSize;
+    learners.push_back(std::make_unique<BanditAllocator>(bc));
+    RlConfig rlc;
+    rlc.epochSize = oc.epochSize;
+    learners.push_back(std::make_unique<RlAllocator>(rlc));
+
+    for (auto &policy : learners) {
+        OpenSystemResult res = sys.run(*policy);
+        ASSERT_GT(res.completedJobs, 0) << policy->name();
+
+        std::uint64_t job_committed = 0;
+        for (const JobRecord &job : res.jobs) {
+            job_committed += job.committed();
+            if (!job.completed)
+                continue;
+            EXPECT_GE(job.residency(), 1u) << policy->name();
+            EXPECT_LT(job.residency(), oc.epochSize) << policy->name()
+                << ": job was meant to live inside one epoch";
+            EXPECT_TRUE(std::isfinite(job.ipc())) << policy->name();
+            EXPECT_GT(job.ipc(), 0.0) << policy->name();
+        }
+        EXPECT_EQ(job_committed, res.committedTotal) << policy->name();
+
+        MachineReport rep = buildJobReport(res);
+        for (const ThreadReport &tr : rep.threads) {
+            EXPECT_TRUE(std::isfinite(tr.ipc)) << tr.label;
+            EXPECT_TRUE(std::isfinite(tr.fetchShare)) << tr.label;
+            EXPECT_TRUE(std::isfinite(tr.mispredictRate)) << tr.label;
+            EXPECT_TRUE(std::isfinite(tr.dl1Mpki)) << tr.label;
+            EXPECT_TRUE(std::isfinite(tr.l2Mpki)) << tr.label;
+            EXPECT_TRUE(std::isfinite(tr.lockedFrac)) << tr.label;
+            EXPECT_TRUE(std::isfinite(tr.flushedPerCommit)) << tr.label;
+        }
+    }
+}
+
+/**
+ * Regression (satellite 2): the warm-machine fast path — makeMachine
+ * once, MachineArena restore per run, runOn — must be bit-identical
+ * to the cold run() path for every learner in the family.
+ */
+TEST(OpenSystemRun, ArenaRestoredMachinesMatchColdRuns)
+{
+    OpenSystemConfig oc = fastConfig(8);
+    oc.slaWeights = true;
+    OpenSystem sys(smallMachine(4), oc);
+    const SmtCpu checkpoint = sys.makeMachine();
+    MachineArena arena(1);
+
+    std::vector<std::unique_ptr<ResourcePolicy>> learners;
+    HillConfig hc;
+    hc.epochSize = oc.epochSize;
+    learners.push_back(std::make_unique<HillClimbing>(hc));
+    BanditConfig bc;
+    bc.epochSize = oc.epochSize;
+    learners.push_back(std::make_unique<BanditAllocator>(bc));
+    RlConfig rlc;
+    rlc.epochSize = oc.epochSize;
+    learners.push_back(std::make_unique<RlAllocator>(rlc));
+
+    for (auto &policy : learners) {
+        auto twin = policy->clone();
+        OpenSystemResult cold = sys.run(*policy);
+        SmtCpu &warm = arena.acquire(0, checkpoint);
+        OpenSystemResult restored = sys.runOn(warm, *twin);
+        EXPECT_TRUE(sameRun(cold, restored)) << policy->name();
+    }
 }
 
 TEST(OpenSystemMetrics, JainFairnessUnitValues)

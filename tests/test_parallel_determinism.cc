@@ -9,10 +9,14 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "core/offline_exhaustive.hh"
 #include "core/rand_hill.hh"
 #include "harness/runner.hh"
+#include "policy/bandit.hh"
 #include "policy/icount.hh"
+#include "policy/rl_alloc.hh"
 #include "trace/program_profile.hh"
 
 namespace smthill
@@ -208,6 +212,79 @@ TEST(ParallelDeterminism, RunGridMatchesSerialLoop)
             [&](std::size_t i) { parallel[i] = runCell(i); });
 
     EXPECT_EQ(serial, parallel);
+}
+
+/**
+ * The new learners (BANDIT-UCB, BANDIT-EXP3, RL-Q) under the grid:
+ * jobs=1 (exact serial path) and jobs=4 must produce bit-identical
+ * epoch records and machine end states. Their seeded Rng streams
+ * live inside the policy object each cell constructs, so nothing
+ * about worker scheduling may leak into the results.
+ */
+TEST(ParallelDeterminism, NewLearnersIdenticalAcrossJobCounts)
+{
+    const Cycle epoch_size = 8192;
+    auto makeLearner = [&](int li) -> std::unique_ptr<ResourcePolicy> {
+        switch (li) {
+          case 0: {
+            BanditConfig bc;
+            bc.epochSize = epoch_size;
+            bc.seed = 5;
+            return std::make_unique<BanditAllocator>(bc);
+          }
+          case 1: {
+            BanditConfig bc;
+            bc.epochSize = epoch_size;
+            bc.algo = BanditAlgo::Exp3;
+            bc.seed = 5;
+            return std::make_unique<BanditAllocator>(bc);
+          }
+          default: {
+            RlConfig rc;
+            rc.epochSize = epoch_size;
+            rc.epsilon = 0.3; // make sure exploration draws happen
+            rc.seed = 5;
+            return std::make_unique<RlAllocator>(rc);
+          }
+        }
+    };
+
+    const SmtCpu two = twoThreadCpu();
+    const SmtCpu four = fourThreadCpu();
+    const std::size_t cells = 6; // 3 learners x 2 machines
+
+    auto runAll = [&](int jobs) {
+        std::vector<RunResult> out(cells);
+        runGrid(cells, jobs, [&](std::size_t cell) {
+            auto p = makeLearner(static_cast<int>(cell % 3));
+            out[cell] =
+                runPolicyOn(cell < 3 ? two : four, *p, 4, epoch_size);
+        });
+        return out;
+    };
+
+    std::vector<RunResult> serial = runAll(1);
+    std::vector<RunResult> parallel = runAll(4);
+    for (std::size_t cell = 0; cell < cells; ++cell) {
+        const RunResult &a = serial[cell];
+        const RunResult &b = parallel[cell];
+        ASSERT_EQ(a.epochs.size(), b.epochs.size()) << "cell " << cell;
+        for (std::size_t e = 0; e < a.epochs.size(); ++e) {
+            EXPECT_EQ(a.epochs[e].partition, b.epochs[e].partition)
+                << "cell " << cell << " epoch " << e;
+            EXPECT_EQ(a.epochs[e].partitioned, b.epochs[e].partitioned)
+                << "cell " << cell << " epoch " << e;
+            for (int t = 0; t < a.epochs[e].ipc.numThreads; ++t)
+                EXPECT_EQ(a.epochs[e].ipc.ipc[t], b.epochs[e].ipc.ipc[t])
+                    << "cell " << cell << " epoch " << e;
+        }
+        EXPECT_EQ(a.finalSnapshot.cycle, b.finalSnapshot.cycle)
+            << "cell " << cell;
+        for (int t = 0; t < a.finalSnapshot.numThreads; ++t)
+            EXPECT_EQ(a.finalSnapshot.stats.committed[t],
+                      b.finalSnapshot.stats.committed[t])
+                << "cell " << cell << " thread " << t;
+    }
 }
 
 TEST(ParallelDeterminism, MakeCpuCacheCoherentUnderConcurrency)

@@ -62,10 +62,12 @@
 #include "harness/runner.hh"
 #include "harness/table.hh"
 #include "phase/phase_hill.hh"
+#include "policy/bandit.hh"
 #include "policy/dcra.hh"
 #include "policy/dg.hh"
 #include "policy/flush.hh"
 #include "policy/icount.hh"
+#include "policy/rl_alloc.hh"
 #include "policy/stall.hh"
 #include "policy/stall_flush.hh"
 #include "policy/static_partition.hh"
@@ -113,12 +115,26 @@ makePolicy(const std::string &name, Cycle epoch_size)
         hc.metric = PerfMetric::WeightedIpc;
         return std::make_unique<PhaseHillClimbing>(hc);
     }
+    if (name == "bandit-ucb" || name == "bandit-exp3") {
+        BanditConfig bc;
+        bc.epochSize = epoch_size;
+        bc.metric = PerfMetric::WeightedIpc;
+        if (name == "bandit-exp3")
+            bc.algo = BanditAlgo::Exp3;
+        return std::make_unique<BanditAllocator>(bc);
+    }
+    if (name == "rl") {
+        RlConfig rc;
+        rc.epochSize = epoch_size;
+        rc.metric = PerfMetric::WeightedIpc;
+        return std::make_unique<RlAllocator>(rc);
+    }
     return nullptr;
 }
 
 const char *kPolicyNames =
     "icount stall flush stall-flush dg pdg dcra static hill-ipc "
-    "hill-wipc hill-hwipc phase-hill";
+    "hill-wipc hill-hwipc phase-hill bandit-ucb bandit-exp3 rl";
 
 /** @return the feedback metric a policy name implies (WIPC default). */
 PerfMetric
