@@ -290,13 +290,16 @@ EventTrace::toJsonl() const
 
 bool
 EventTrace::fromPerfettoJson(const Json &doc, std::vector<SimEvent> &out,
-                             std::string &error)
+                             std::string &error, TraceMeta *meta)
 {
     out.clear();
     if (!doc.isObject() || !doc.contains("traceEvents")) {
         error = "not a trace document (no traceEvents)";
         return false;
     }
+    TraceMeta m;
+    if (doc.contains("displayTimeUnit"))
+        m.displayTimeUnit = doc.at("displayTimeUnit").asString();
     if (doc.contains("otherData")) {
         const Json &other = doc.at("otherData");
         if (other.contains("schema") &&
@@ -305,7 +308,20 @@ EventTrace::fromPerfettoJson(const Json &doc, std::vector<SimEvent> &out,
                     other.at("schema").asString() + "'";
             return false;
         }
+        if (other.contains("clock")) {
+            m.clock = other.at("clock").asString();
+            // Timestamps are raw cycle counts; mixing clock domains
+            // would mis-align every diff without any other symptom.
+            if (m.clock != kClock) {
+                error = "unsupported trace clock '" + m.clock + "'";
+                return false;
+            }
+        }
+        if (other.contains("dropped"))
+            m.dropped = other.at("dropped").asInt();
     }
+    if (meta)
+        *meta = m;
     const Json &evs = doc.at("traceEvents");
     if (!evs.isArray()) {
         error = "traceEvents is not an array";

@@ -158,10 +158,24 @@ class EventTrace
     static bool eventFromJson(const Json &j, SimEvent &out,
                               std::string &error);
 
-    /** Rebuild events from a toPerfettoJson() document. */
+    /** Document-level metadata recovered alongside the events. */
+    struct TraceMeta
+    {
+        std::string clock;           ///< otherData.clock
+        std::string displayTimeUnit; ///< viewer hint ("ns")
+        std::int64_t dropped = 0;    ///< events lost to ring overwrite
+    };
+
+    /**
+     * Rebuild events from a toPerfettoJson() document. Rejects a
+     * mismatched schema or clock domain (cycle timestamps from a
+     * foreign clock would silently mis-align in diffs). @p meta, when
+     * non-null, receives the document metadata.
+     */
     static bool fromPerfettoJson(const Json &doc,
                                  std::vector<SimEvent> &out,
-                                 std::string &error);
+                                 std::string &error,
+                                 TraceMeta *meta = nullptr);
 
     /** Rebuild events from JSONL text (as written by the sink). */
     static bool fromJsonlText(const std::string &text,

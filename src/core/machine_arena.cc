@@ -21,7 +21,9 @@ MachineArena::acquire(int worker, const SmtCpu &checkpoint)
         // First trial on this worker: clone (the event-trace link is
         // already dropped by copy), then detach observation exactly
         // as restoreFrom would — trials never observe.
-        m = std::make_unique<SmtCpu>(checkpoint);
+        // First-touch warm-up: one clone per worker for the arena's
+        // lifetime; every later trial reuses it via restoreFrom.
+        m = std::make_unique<SmtCpu>(checkpoint); // smthill-lint: allow(hot-path-allocation)
         m->setTracer(nullptr);
         m->setBranchObserver(nullptr, nullptr);
         m->setLoadObserver(nullptr, nullptr);

@@ -102,8 +102,10 @@ OfflineExhaustive::stepEpoch(SmtCpu &cpu) const
 
     for (std::size_t i = 0; i < trials.size(); ++i) {
         if (cfg.keepCurves) {
-            rec.curveShares.push_back(trials[i].share[0]);
-            rec.curve.push_back(metrics[i]);
+            // Diagnostic curves are opt-in (keepCurves) and amortized
+            // at one sample per trial; sweeps leave this off.
+            rec.curveShares.push_back(trials[i].share[0]); // smthill-lint: allow(hot-path-allocation)
+            rec.curve.push_back(metrics[i]); // smthill-lint: allow(hot-path-allocation)
         }
         if (metrics[i] > best_metric) {
             best_metric = metrics[i];
@@ -124,9 +126,11 @@ OfflineResult
 OfflineExhaustive::run(SmtCpu &cpu, int num_epochs) const
 {
     OfflineResult res;
-    res.epochs.reserve(num_epochs);
+    // The preallocation itself: one reserve up front, then every
+    // per-epoch push_back lands in already-committed storage.
+    res.epochs.reserve(num_epochs); // smthill-lint: allow(hot-path-allocation)
     for (int e = 0; e < num_epochs; ++e)
-        res.epochs.push_back(stepEpoch(cpu));
+        res.epochs.push_back(stepEpoch(cpu)); // smthill-lint: allow(hot-path-allocation)
     return res;
 }
 

@@ -13,6 +13,13 @@ namespace
 /**
  * Scan @p comment for `smthill-lint: allow(a, b)` and record the
  * allowed rule names for every line in [first_line, last_line].
+ *
+ * The marker must open the comment (only comment punctuation and
+ * whitespace may precede it), so prose that merely *mentions* the
+ * suppression syntax — doc comments quoting
+ * `smthill-lint: allow(<rule>)` mid-sentence — never registers a
+ * suppression. Without this, every documentation mention would be a
+ * dead allow for the stale-suppression pass to flag.
  */
 void
 recordAllows(const std::string &comment, int first_line, int last_line,
@@ -22,6 +29,12 @@ recordAllows(const std::string &comment, int first_line, int last_line,
     std::size_t pos = comment.find(marker);
     if (pos == std::string::npos)
         return;
+    for (std::size_t i = 0; i < pos; ++i) {
+        char c = comment[i];
+        if (c != '/' && c != '*' && c != '!' &&
+            !std::isspace(static_cast<unsigned char>(c)))
+            return; // marker quoted mid-comment, not a suppression
+    }
     pos = comment.find("allow", pos + marker.size());
     if (pos == std::string::npos)
         return;
@@ -65,12 +78,18 @@ isIdentChar(char c)
 bool
 LexedFile::suppressed(const std::string &rule, int line) const
 {
+    return allowLineFor(rule, line) != 0;
+}
+
+int
+LexedFile::allowLineFor(const std::string &rule, int line) const
+{
     for (int l : {line, line - 1}) {
         auto it = allows.find(l);
         if (it != allows.end() && it->second.count(rule))
-            return true;
+            return l;
     }
-    return false;
+    return 0;
 }
 
 LexedFile

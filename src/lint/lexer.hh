@@ -63,6 +63,14 @@ struct LexedFile
      * by an allow marker on the same line or the line above.
      */
     bool suppressed(const std::string &rule, int line) const;
+
+    /**
+     * @return the line of the allow marker that suppresses a finding
+     * of @p rule on @p line (the line itself or the line above), or
+     * 0 when no marker applies. The stale-suppression analyzer pass
+     * uses this to credit the exact marker a finding consumed.
+     */
+    int allowLineFor(const std::string &rule, int line) const;
 };
 
 /** Lex @p content (one file's bytes) into tokens and markers. */

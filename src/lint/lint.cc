@@ -208,70 +208,20 @@ validStatName(const std::string &name)
     return name.find('.') != std::string::npos;
 }
 
-/** Versioned schema field list for a writer file, or nullptr. */
-const std::set<std::string> *
-schemaFieldsFor(const std::string &path)
+/** Every schema list governing @p path (usually zero or one). */
+std::vector<const SchemaList *>
+schemaListsFor(const std::string &path)
 {
-    // smthill.epoch-trace.v1 (core/epoch_trace.hh)
-    static const std::set<std::string> epochTraceV1 = {
-        "schema",        "metric",         "num_threads",
-        "epochs",        "epoch",          "cycle",
-        "elapsed_cycles", "ipc",           "metric_value",
-        "trial",         "anchor",         "round_perf",
-        "single_ipc_est", "gradient_thread", "sampling_thread",
-        "anchor_moved",  "software_cost",
-    };
-    // smthill.report.v1 (harness/report.hh)
-    static const std::set<std::string> reportV1 = {
-        "schema",       "cycles",          "total_ipc",
-        "threads",      "thread",          "label",
-        "ipc",          "committed",       "flushed",
-        "fetch_share",  "mispredict_rate", "dl1_mpki",
-        "l2_mpki",      "stalled_cycles",  "locked_frac",
-        "flushed_per_commit",
-    };
-    // smthill.events.v1 (common/event_trace.hh)
-    static const std::set<std::string> eventsV1 = {
-        "traceEvents", "displayTimeUnit", "otherData",
-        "schema",      "clock",           "dropped",
-        "name",        "cat",             "ph",
-        "ts",          "dur",             "pid",
-        "tid",         "args",            "value",
-    };
-    // smthill.events.v1 job-lifecycle args (workload/open_system.cc)
-    static const std::set<std::string> openSystemEvents = {
-        "job",       "benchmark", "priority", "instructions",
-        "context",   "waited",    "committed", "residency",
-    };
-    // smthill.bench.open-system.v1 (bench/bench_open_system.cc)
-    static const std::set<std::string> benchOpenSystemV1 = {
-        "schema",          "seed",           "machine_threads",
-        "num_jobs",        "rows",           "mean_gap",
-        "policy",          "throughput",     "latency_p50",
-        "latency_p95",     "latency_p99",    "fairness",
-        "completed_jobs",  "horizon_jobs",   "max_queue_depth",
-        "cycles",          "committed_total",
-    };
-    if (endsWith(path, "core/epoch_trace.cc"))
-        return &epochTraceV1;
-    if (endsWith(path, "harness/report.cc"))
-        return &reportV1;
-    if (endsWith(path, "common/event_trace.cc"))
-        return &eventsV1;
-    if (endsWith(path, "workload/open_system.cc"))
-        return &openSystemEvents;
-    // smthill.bench.learner-race.v1 (bench/bench_fig09_hill_main.cc)
-    static const std::set<std::string> learnerRaceV1 = {
-        "schema",     "epochs",   "epoch_size", "seed",
-        "cells",      "workload", "group",      "threads",
-        "icount",     "flush",    "dcra",       "hill",
-        "phase_hill", "bandit",   "rl",         "counters",
-    };
-    if (endsWith(path, "bench/bench_open_system.cc"))
-        return &benchOpenSystemV1;
-    if (endsWith(path, "bench/bench_fig09_hill_main.cc"))
-        return &learnerRaceV1;
-    return nullptr;
+    std::vector<const SchemaList *> out;
+    for (const SchemaList &s : schemaCatalog()) {
+        for (const std::string &suffix : s.fileSuffixes) {
+            if (endsWith(path, suffix)) {
+                out.push_back(&s);
+                break;
+            }
+        }
+    }
+    return out;
 }
 
 /** One stat registration site found during scanning. */
@@ -279,7 +229,7 @@ struct StatSite
 {
     std::string file;
     int line = 0;
-    bool suppressed = false; ///< stat-name allow on this line
+    int allowLine = 0; ///< stat-name allow covering this line, or 0
 };
 
 /** Cross-file state threaded through per-file scans. */
@@ -293,10 +243,12 @@ class FileScanner
 {
   public:
     FileScanner(const std::string &file_path, const std::string &content,
-                ScanState &scan_state)
+                ScanState &scan_state, SuppressionAudit *audit_sink = nullptr)
         : path(file_path), parts(pathComponents(file_path)),
-          lex(lexFile(content)), state(scan_state)
+          lex(lexFile(content)), state(scan_state), audit(audit_sink)
     {
+        if (audit && !lex.allows.empty())
+            audit->allows[path] = lex.allows;
     }
 
     std::vector<Finding>
@@ -313,8 +265,13 @@ class FileScanner
     void
     report(const std::string &rule, int line, const std::string &message)
     {
-        if (!lex.suppressed(rule, line))
-            findings.push_back({rule, path, line, message});
+        int allowLine = lex.allowLineFor(rule, line);
+        if (allowLine != 0) {
+            if (audit)
+                audit->recordUse(path, allowLine, rule);
+            return;
+        }
+        findings.push_back({rule, path, line, message});
     }
 
     bool
@@ -352,6 +309,7 @@ class FileScanner
     const std::vector<std::string> parts;
     const LexedFile lex;
     ScanState &state;
+    SuppressionAudit *audit;
     std::vector<Finding> findings;
 };
 
@@ -524,15 +482,15 @@ FileScanner::checkStatRegistration(std::size_t i)
     }
     if (srcModule(parts) != "") {
         state.statSites[arg.text].push_back(
-            {path, arg.line, lex.suppressed("stat-name", arg.line)});
+            {path, arg.line, lex.allowLineFor("stat-name", arg.line)});
     }
 }
 
 void
 FileScanner::checkSchemaField(std::size_t i)
 {
-    const std::set<std::string> *fields = schemaFieldsFor(path);
-    if (!fields)
+    const std::vector<const SchemaList *> lists = schemaListsFor(path);
+    if (lists.empty())
         return;
     // .set("field" / .at("field" / .contains("field"
     if (!isPunct(i, '.'))
@@ -546,13 +504,15 @@ FileScanner::checkSchemaField(std::size_t i)
         lex.tokens[i + 3].kind != TokKind::String)
         return;
     const Token &arg = lex.tokens[i + 3];
-    if (!fields->count(arg.text)) {
-        report("schema-field", arg.line,
-               "field \"" + arg.text +
-                   "\" is not in the versioned schema list for this "
-                   "writer; bump the schema version and extend the "
-                   "list in lint/lint.cc");
+    for (const SchemaList *s : lists) {
+        if (s->fields.count(arg.text))
+            return;
     }
+    report("schema-field", arg.line,
+           "field \"" + arg.text +
+               "\" is not in the versioned schema list for this "
+               "writer; bump the schema version and extend the "
+               "list in lint/lint.cc");
 }
 
 void
@@ -682,14 +642,19 @@ sortFindings(std::vector<Finding> &findings)
 /** Emit duplicate-registration findings from aggregated stat sites. */
 void
 appendStatDuplicates(const ScanState &state,
-                     std::vector<Finding> &findings)
+                     std::vector<Finding> &findings,
+                     SuppressionAudit *audit = nullptr)
 {
     for (const auto &[name, sites] : state.statSites) {
         if (sites.size() < 2)
             continue;
         for (std::size_t i = 1; i < sites.size(); ++i) {
-            if (sites[i].suppressed)
+            if (sites[i].allowLine != 0) {
+                if (audit)
+                    audit->recordUse(sites[i].file, sites[i].allowLine,
+                                     "stat-name");
                 continue;
+            }
             findings.push_back(
                 {"stat-name", sites[i].file, sites[i].line,
                  "stat \"" + name + "\" already registered at " +
@@ -729,6 +694,86 @@ ruleNames()
     };
 }
 
+const std::vector<SchemaList> &
+schemaCatalog()
+{
+    static const std::vector<SchemaList> catalog = {
+        // smthill.epoch-trace.v1 (core/epoch_trace.hh)
+        {"smthill.epoch-trace.v1",
+         {"core/epoch_trace.cc"},
+         {
+             "schema",        "metric",         "num_threads",
+             "epochs",        "epoch",          "cycle",
+             "elapsed_cycles", "ipc",           "metric_value",
+             "trial",         "anchor",         "round_perf",
+             "single_ipc_est", "gradient_thread", "sampling_thread",
+             "anchor_moved",  "software_cost",
+         }},
+        // smthill.report.v1 (harness/report.hh)
+        {"smthill.report.v1",
+         {"harness/report.cc"},
+         {
+             "schema",       "cycles",          "total_ipc",
+             "threads",      "label",           "ipc",
+             "committed",    "flushed",         "fetch_share",
+             "mispredict_rate", "dl1_mpki",     "l2_mpki",
+             "stalled_cycles",  "locked_frac",
+             "flushed_per_commit",
+         }},
+        // smthill.events.v1 (common/event_trace.hh); the trace
+        // report tool parses the same dialect.
+        {"smthill.events.v1",
+         {"common/event_trace.cc", "tools/smthill_trace_report.cc"},
+         {
+             "traceEvents", "displayTimeUnit", "otherData",
+             "schema",      "clock",           "dropped",
+             "name",        "cat",             "ph",
+             "ts",          "dur",             "pid",
+             "tid",         "args",            "value",
+         }},
+        // smthill.events.v1 job-lifecycle args
+        // (workload/open_system.cc)
+        {"smthill.events.v1/job-args",
+         {"workload/open_system.cc"},
+         {
+             "job",       "benchmark", "priority", "instructions",
+             "context",   "waited",    "committed", "residency",
+         }},
+        // smthill.bench.open-system.v1 (bench/bench_open_system.cc)
+        {"smthill.bench.open-system.v1",
+         {"bench/bench_open_system.cc"},
+         {
+             "schema",          "seed",           "machine_threads",
+             "num_jobs",        "rows",           "mean_gap",
+             "policy",          "throughput",     "latency_p50",
+             "latency_p95",     "latency_p99",    "fairness",
+             "completed_jobs",  "horizon_jobs",   "max_queue_depth",
+             "cycles",          "committed_total",
+         }},
+        // smthill.bench.learner-race.v1 (bench/bench_fig09_hill_main.cc)
+        {"smthill.bench.learner-race.v1",
+         {"bench/bench_fig09_hill_main.cc"},
+         {
+             "schema",     "epochs",   "epoch_size", "seed",
+             "cells",      "workload", "group",      "threads",
+             "icount",     "flush",    "dcra",       "hill",
+             "phase_hill", "bandit",   "rl",         "counters",
+         }},
+        // smthill.lint.v1 (lint/lint.hh): findings documents from
+        // both smthill_lint and smthill_analyze, including the
+        // analyzer's tool/passes metadata extensions. Registered
+        // here so the schema-field rule covers the linter's own
+        // writers instead of exempting them.
+        {"smthill.lint.v1",
+         {"lint/lint.cc", "lint/analyze.cc", "tools/smthill_analyze.cc"},
+         {
+             "schema",  "findings", "rule",   "file",
+             "line",    "message",  "tool",   "passes",
+         }},
+    };
+    return catalog;
+}
+
 std::vector<Finding>
 lintFile(const std::string &path, const std::string &content)
 {
@@ -740,13 +785,14 @@ lintFile(const std::string &path, const std::string &content)
     return findings;
 }
 
-std::vector<Finding>
-lintPaths(const std::vector<std::string> &paths, std::string &error)
+bool
+collectSourceFiles(const std::vector<std::string> &paths,
+                   std::vector<std::string> &files, std::string &error)
 {
     namespace fs = std::filesystem;
     error.clear();
+    files.clear();
 
-    std::vector<std::string> files;
     for (const std::string &p : paths) {
         std::error_code ec;
         if (fs::is_directory(p, ec)) {
@@ -754,13 +800,13 @@ lintPaths(const std::vector<std::string> &paths, std::string &error)
                 p, fs::directory_options::skip_permission_denied, ec);
             if (ec) {
                 error = p + ": " + ec.message();
-                return {};
+                return false;
             }
             for (auto end = fs::end(it); it != end;
                  it.increment(ec)) {
                 if (ec) {
                     error = p + ": " + ec.message();
-                    return {};
+                    return false;
                 }
                 const fs::directory_entry &entry = *it;
                 std::string name = entry.path().filename().string();
@@ -776,14 +822,38 @@ lintPaths(const std::vector<std::string> &paths, std::string &error)
             files.push_back(p);
         } else {
             error = p + ": not a file or directory";
-            return {};
+            return false;
         }
     }
     std::sort(files.begin(), files.end());
     files.erase(std::unique(files.begin(), files.end()), files.end());
+    return true;
+}
 
+std::vector<Finding>
+lintUnits(const std::vector<SourceUnit> &units, SuppressionAudit *audit)
+{
     ScanState state;
     std::vector<Finding> findings;
+    for (const auto &[path, content] : units) {
+        std::vector<Finding> here =
+            FileScanner(path, content, state, audit).run();
+        findings.insert(findings.end(), here.begin(), here.end());
+    }
+    appendStatDuplicates(state, findings, audit);
+    sortFindings(findings);
+    return findings;
+}
+
+std::vector<Finding>
+lintPaths(const std::vector<std::string> &paths, std::string &error)
+{
+    std::vector<std::string> files;
+    if (!collectSourceFiles(paths, files, error))
+        return {};
+
+    std::vector<SourceUnit> units;
+    units.reserve(files.size());
     for (const std::string &file : files) {
         std::ifstream in(file, std::ios::binary);
         if (!in) {
@@ -792,13 +862,9 @@ lintPaths(const std::vector<std::string> &paths, std::string &error)
         }
         std::ostringstream buf;
         buf << in.rdbuf();
-        std::vector<Finding> here =
-            FileScanner(file, buf.str(), state).run();
-        findings.insert(findings.end(), here.begin(), here.end());
+        units.emplace_back(file, buf.str());
     }
-    appendStatDuplicates(state, findings);
-    sortFindings(findings);
-    return findings;
+    return lintUnits(units);
 }
 
 Json

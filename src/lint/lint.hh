@@ -48,7 +48,10 @@
 #ifndef SMTHILL_LINT_LINT_HH
 #define SMTHILL_LINT_LINT_HH
 
+#include <map>
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/json.hh"
@@ -71,6 +74,47 @@ struct Finding
 
 /** @return the names of every implemented rule. */
 std::vector<std::string> ruleNames();
+
+/**
+ * One versioned JSON schema: the field list plus the writer/parser
+ * files whose `.set("f")` / `.at("f")` / `.contains("f")` literals
+ * it governs. The schema-field rule checks every literal in a
+ * governed file against the union of the lists that govern it; the
+ * analyzer's cross-tu-consistency pass additionally compares the
+ * written, parsed, and listed field sets per schema.
+ */
+struct SchemaList
+{
+    std::string name;                      ///< e.g. "smthill.report.v1"
+    std::vector<std::string> fileSuffixes; ///< writer/parser files
+    std::set<std::string> fields;          ///< versioned field list
+};
+
+/** The versioned schema catalog, in stable order. */
+const std::vector<SchemaList> &schemaCatalog();
+
+/**
+ * Suppression bookkeeping threaded through a lint run so the
+ * analyzer's stale-suppression pass can prove which
+ * `// smthill-lint: allow(<rule>)` markers still earn their keep.
+ * `allows` records every marker seen; `used` records, per file, the
+ * (marker line, rule) pairs that actually suppressed a finding.
+ */
+struct SuppressionAudit
+{
+    std::map<std::string, std::map<int, std::set<std::string>>> allows;
+    std::map<std::string, std::set<std::pair<int, std::string>>> used;
+
+    void
+    recordUse(const std::string &file, int allow_line,
+              const std::string &rule)
+    {
+        used[file].insert({allow_line, rule});
+    }
+};
+
+/** One in-memory source file: (path, content). */
+using SourceUnit = std::pair<std::string, std::string>;
 
 /**
  * Lint one file given its @p path and @p content. Path-scoped rules
@@ -96,6 +140,27 @@ std::vector<Finding> lintFile(const std::string &path,
  */
 std::vector<Finding> lintPaths(const std::vector<std::string> &paths,
                                std::string &error);
+
+/**
+ * Lint a set of in-memory units (the analyzer's phase-1 entry: it
+ * reads the tree once, lints for suppression accounting, then builds
+ * the project model from the same bytes). Cross-file checks run over
+ * the whole set. When @p audit is non-null it receives every allow
+ * marker and every (marker, rule) use, including markers consumed by
+ * suppressed cross-file stat-name findings.
+ */
+std::vector<Finding> lintUnits(const std::vector<SourceUnit> &units,
+                               SuppressionAudit *audit = nullptr);
+
+/**
+ * Collect every `.hh`/`.h`/`.cc`/`.cpp` file under @p paths in
+ * deterministic (sorted, deduplicated) order, applying the same
+ * skip rules as lintPaths (build outputs, dot-directories, fixture
+ * trees). @return false with @p error set on unreadable paths.
+ */
+bool collectSourceFiles(const std::vector<std::string> &paths,
+                        std::vector<std::string> &files,
+                        std::string &error);
 
 /** Serialize findings as a `smthill.lint.v1` JSON document. */
 Json findingsToJson(const std::vector<Finding> &findings);

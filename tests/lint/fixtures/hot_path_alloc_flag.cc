@@ -1,0 +1,15 @@
+// Must-flag fixture for the analyzer's hot-path-allocation pass:
+// refill() grows a container and is reachable from the SmtCpu::step
+// root through the name-matched call graph.
+
+void
+SmtCpu::step()
+{
+    refill();
+}
+
+void
+refill()
+{
+    buffer.push_back(0);
+}

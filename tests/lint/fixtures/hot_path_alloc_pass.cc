@@ -1,0 +1,22 @@
+// Must-pass fixture for the analyzer's hot-path-allocation pass: the
+// path reachable from SmtCpu::step only writes into preallocated
+// storage; the one allocation lives in setup(), which no root
+// reaches.
+
+void
+SmtCpu::step()
+{
+    advance();
+}
+
+void
+advance()
+{
+    buffer[cursor] = cursor;
+}
+
+void
+setup()
+{
+    buffer.reserve(64);
+}

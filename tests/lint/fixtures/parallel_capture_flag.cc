@@ -1,0 +1,21 @@
+// Must-flag fixture for the analyzer's parallel-capture pass: 'sum'
+// and 'rows' are captured by reference and mutated inside pool
+// lambdas without index-disjoint access, atomics, or a lock.
+
+void
+racyReduce(ThreadPool &pool, const std::vector<int> &in)
+{
+    int sum = 0;
+    pool.parallelFor(in.size(), [&](std::size_t i) {
+        sum += in[i];
+    });
+}
+
+void
+racyAppend(ThreadPool &pool)
+{
+    std::vector<int> rows;
+    pool.parallelForWorker(64, [&rows](std::size_t i, int worker) {
+        rows.push_back(static_cast<int>(i) + worker);
+    });
+}

@@ -1,0 +1,30 @@
+// Must-pass fixture for the analyzer's parallel-capture pass: every
+// by-reference capture is either written through an index-disjoint
+// slot, an atomic, or under a lock — the three sanctioned shapes.
+
+void
+disjointSlots(ThreadPool &pool, std::vector<int> &out)
+{
+    pool.parallelFor(out.size(), [&](std::size_t i) {
+        out[i] = static_cast<int>(i) * 2;
+    });
+}
+
+void
+atomicReduce(ThreadPool &pool, const std::vector<int> &in)
+{
+    std::atomic<int> sum{0};
+    pool.parallelFor(in.size(), [&](std::size_t i) {
+        sum += in[i];
+    });
+}
+
+void
+lockedAppend(ThreadPool &pool, std::mutex &m)
+{
+    std::vector<int> rows;
+    pool.parallelFor(64, [&](std::size_t i) {
+        std::lock_guard<std::mutex> hold(m);
+        rows.push_back(static_cast<int>(i));
+    });
+}

@@ -1,0 +1,9 @@
+// Must-flag fixture for the analyzer's stale-suppression pass: the
+// marker below suppresses nothing — no parallel-capture finding ever
+// lands on that line — so the marker itself becomes the finding.
+
+int
+answer()
+{
+    return 42; // smthill-lint: allow(parallel-capture)
+}

@@ -1,0 +1,10 @@
+// Must-pass fixture for the analyzer's stale-suppression pass: the
+// marker consumes a real parallel-capture finding, so it is live and
+// the whole unit analyzes clean.
+
+void
+inlineOnly(ThreadPool &pool)
+{
+    int n = 0;
+    pool.parallelFor(4, [&](std::size_t) { n++; }); // smthill-lint: allow(parallel-capture)
+}

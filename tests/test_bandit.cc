@@ -12,6 +12,7 @@
 
 #include <memory>
 
+#include "common/stat_registry.hh"
 #include "policy/bandit.hh"
 #include "policy/rl_alloc.hh"
 #include "trace/spec_profiles.hh"
@@ -194,6 +195,66 @@ TEST(RlAlloc, ChurnKeepsAnchorConservedAndClearsStaleRows)
     for (int s = 0; s < kMaxThreads; ++s)
         EXPECT_EQ(rl.qValue(s, 0), 0.0)
             << "stale Q column survived churn, state " << s;
+}
+
+TEST(Bandit, ExportsEpochSwitchAndRebuildStats)
+{
+    StatRegistry &stats = globalStats();
+    std::uint64_t epochs0 =
+        stats.counter("smthill.bandit.epochs").value();
+    std::uint64_t switches0 =
+        stats.counter("smthill.bandit.switches").value();
+    std::uint64_t rebuilds0 =
+        stats.counter("smthill.bandit.rebuilds").value();
+
+    BanditConfig bc;
+    bc.epochSize = 2048;
+    bc.stride = 64;
+    BanditAllocator bandit(bc);
+    SmtCpu cpu = makeMachine({"art", "mcf"});
+    bandit.attach(cpu);
+    EXPECT_GE(stats.counter("smthill.bandit.rebuilds").value(),
+              rebuilds0 + 1)
+        << "attach must rebuild the arm lattice";
+
+    const int k = static_cast<int>(bandit.arms().size());
+    for (int e = 0; e < k; ++e) {
+        cpu.run(bc.epochSize);
+        bandit.epoch(cpu, static_cast<std::uint64_t>(e));
+    }
+    EXPECT_EQ(stats.counter("smthill.bandit.epochs").value(),
+              epochs0 + static_cast<std::uint64_t>(k));
+    // The sweep phase pulls each arm once, so the first k epochs
+    // switch arms at least k - 1 times.
+    EXPECT_GE(stats.counter("smthill.bandit.switches").value(),
+              switches0 + static_cast<std::uint64_t>(k - 1));
+}
+
+TEST(RlAlloc, ExportsEpochExploreAndAnchorMoveStats)
+{
+    StatRegistry &stats = globalStats();
+    std::uint64_t epochs0 = stats.counter("smthill.rl.epochs").value();
+    std::uint64_t explores0 =
+        stats.counter("smthill.rl.explores").value();
+    std::uint64_t moves0 =
+        stats.counter("smthill.rl.anchor_moves").value();
+
+    RlConfig rc;
+    rc.epochSize = 2048;
+    RlAllocator rl(rc);
+    SmtCpu cpu = makeMachine({"art", "mcf"});
+    rl.attach(cpu);
+    constexpr int kEpochs = 24;
+    for (int e = 0; e < kEpochs; ++e) {
+        cpu.run(rc.epochSize);
+        rl.epoch(cpu, static_cast<std::uint64_t>(e));
+    }
+    EXPECT_EQ(stats.counter("smthill.rl.epochs").value(),
+              epochs0 + kEpochs);
+    // Greedy/explore and anchor movement depend on the seeded streams;
+    // both counters are monotone, so the floor assertion is exact.
+    EXPECT_GE(stats.counter("smthill.rl.explores").value(), explores0);
+    EXPECT_GE(stats.counter("smthill.rl.anchor_moves").value(), moves0);
 }
 
 } // namespace

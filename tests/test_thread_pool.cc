@@ -13,6 +13,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/stat_registry.hh"
 #include "common/thread_pool.hh"
 
 namespace smthill
@@ -51,7 +52,9 @@ TEST(ThreadPool, JobsOneRunsInlineOnCaller)
     std::vector<std::size_t> order;
     pool.parallelFor(16, [&](std::size_t i) {
         seen[i] = std::this_thread::get_id();
-        order.push_back(i);
+        // Safe only because jobs=1 runs every index inline on the
+        // caller — this test asserts exactly that serial order.
+        order.push_back(i); // smthill-lint: allow(parallel-capture)
     });
     for (const auto &id : seen)
         EXPECT_EQ(id, caller);
@@ -65,7 +68,9 @@ TEST(ThreadPool, JobsClampedToAtLeastOne)
     ThreadPool pool(0);
     EXPECT_EQ(pool.jobs(), 1);
     int ran = 0;
-    pool.parallelFor(3, [&](std::size_t) { ran++; });
+    // jobs clamps to 1, so the lambda runs inline; the unguarded
+    // counter is the point of the clamping test.
+    pool.parallelFor(3, [&](std::size_t) { ran++; }); // smthill-lint: allow(parallel-capture)
     EXPECT_EQ(ran, 3);
 }
 
@@ -146,6 +151,22 @@ TEST(ThreadPool, SubmitPropagatesExceptionThroughFuture)
 TEST(ThreadPool, DefaultJobsIsPositive)
 {
     EXPECT_GE(ThreadPool::defaultJobs(), 1);
+}
+
+TEST(ThreadPool, ExportsIndexAndQueueDepthStats)
+{
+    ThreadPool pool(4);
+    std::uint64_t before =
+        globalStats().counter("smthill.thread_pool.for_indices").value();
+    pool.parallelFor(64, [](std::size_t) {});
+    EXPECT_GE(
+        globalStats().counter("smthill.thread_pool.for_indices").value(),
+        before + 64);
+    // queue_depth is a live gauge; once parallelFor returns, every
+    // enqueued task has been drained.
+    EXPECT_EQ(
+        globalStats().gauge("smthill.thread_pool.queue_depth").value(),
+        0.0);
 }
 
 TEST(ThreadPool, ReusableAcrossManyParallelFors)

@@ -38,6 +38,41 @@ using namespace smthill;
 namespace
 {
 
+/**
+ * Every event name the simulator emits (smthill_analyze keeps this
+ * in sync with the instant/complete/counter call sites cross-TU). A
+ * trailing '*' marks a prefix wildcard for computed names. Names
+ * outside this catalog are bucketed as unknown by summarize —
+ * usually a typo at the emitter or a new event missing its report
+ * support.
+ */
+const char *const kKnownEventNames[] = {
+    "anchor.move",       "arm.pull",        "best.partition",
+    "churn.attach",      "churn.detach",    "classify",
+    "context.idle",      "context.reset",   "epoch",
+    "flush",             "job.arrive",      "job.attach",
+    "job.depart",        "partition.clear", "reuse.decision",
+    "round",             "sample.begin",    "share.t*",
+    "single_ipc.update", "stall",           "thread.enabled",
+    "transition",        "trial.install",
+};
+
+/** @return true when @p name matches a catalog entry or wildcard. */
+bool
+knownEventName(const std::string &name)
+{
+    for (const char *entry : kKnownEventNames) {
+        std::string e = entry;
+        if (!e.empty() && e.back() == '*') {
+            if (name.rfind(e.substr(0, e.size() - 1), 0) == 0)
+                return true;
+        } else if (name == e) {
+            return true;
+        }
+    }
+    return false;
+}
+
 /** Slurp @p path, fataling on I/O failure. */
 std::string
 readTextFile(const std::string &path)
@@ -92,6 +127,20 @@ printEventCounts(const std::vector<SimEvent> &events)
     }
     t.print();
     std::printf("total: %zu events\n", events.size());
+
+    // Names outside the catalog get called out rather than silently
+    // folded into the table — catching emitter typos is the point.
+    // Perfetto 'M' metadata (process_name/thread_name) is viewer
+    // plumbing, not a simulator event, and is exempt.
+    std::map<std::string, std::uint64_t> unknown;
+    for (const SimEvent &e : events)
+        if (e.ph != 'M' && !knownEventName(e.name))
+            ++unknown[e.name];
+    for (const auto &[name, n] : unknown)
+        std::printf("warning: unknown event name '%s' (%llu events) — "
+                    "not in this report's catalog\n",
+                    name.c_str(),
+                    static_cast<unsigned long long>(n));
 }
 
 void
