@@ -7,17 +7,21 @@
 #ifndef SMTHILL_BENCH_BENCH_COMMON_HH
 #define SMTHILL_BENCH_BENCH_COMMON_HH
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "common/event_trace.hh"
 #include "common/json.hh"
 #include "common/log.hh"
+#include "common/profile.hh"
 #include "common/stat_registry.hh"
+#include "common/stat_snapshot.hh"
 #include "harness/runner.hh"
 
 namespace smthill::benchutil
@@ -104,13 +108,88 @@ eventTracePath()
 }
 
 /**
+ * Opt-in periodic stat-snapshot destination (SMTHILL_SNAPSHOTS, a
+ * `smthill.snapshots.v1` JSONL stream); empty disables sampling.
+ */
+inline std::string
+snapshotsPath()
+{
+    const char *p = std::getenv("SMTHILL_SNAPSHOTS");
+    return p && *p ? p : "";
+}
+
+/**
+ * Host-profile report destination (SMTHILL_PROFILE_JSON). Only
+ * consulted when profiling is on; empty falls back to a stdout
+ * summary table.
+ */
+inline std::string
+profileJsonPath()
+{
+    const char *p = std::getenv("SMTHILL_PROFILE_JSON");
+    return p && *p ? p : "";
+}
+
+/**
+ * Streaming snapshot sink over globalStats(): opens @p path and
+ * emits one `smthill.snapshots.v1` row per sample() call; an empty
+ * path makes every operation a no-op. sample() is thread-safe, so
+ * grid cells can report completion from pool workers.
+ */
+class SnapshotSink
+{
+  public:
+    explicit SnapshotSink(const std::string &path)
+    {
+        if (path.empty())
+            return;
+        out.open(path, std::ios::binary);
+        if (!out)
+            fatal(msg("cannot write '", path, "'"));
+        snap.emplace(globalStats());
+        snap->streamTo(&out);
+        file = path;
+    }
+
+    ~SnapshotSink()
+    {
+        if (!snap)
+            return;
+        snap->streamTo(nullptr);
+        if (!out)
+            fatal(msg("cannot write '", file, "'"));
+        std::printf("wrote %zu stat snapshots to %s\n",
+                    snap->rows().size(), file.c_str());
+    }
+
+    SnapshotSink(const SnapshotSink &) = delete;
+    SnapshotSink &operator=(const SnapshotSink &) = delete;
+
+    void
+    sample(std::uint64_t epoch, std::uint64_t cycle)
+    {
+        if (snap)
+            snap->sample(epoch, cycle);
+    }
+
+  private:
+    std::ofstream out;
+    std::optional<StatSnapshotter> snap;
+    std::string file;
+};
+
+/**
  * Write @p trace to @p path: a ".jsonl" extension selects the JSONL
  * stream form, anything else the Chrome trace-event / Perfetto JSON
- * document. Fatal on I/O failure.
+ * document. When profiling is on, the collected host spans are
+ * injected first as a second clock track. Fatal on I/O failure.
  */
 inline void
-writeEventTrace(const EventTrace &trace, const std::string &path)
+writeEventTrace(EventTrace &trace, const std::string &path)
 {
+    SMTHILL_PROF_SCOPE("bench.export");
+    if (prof::profilingEnabled())
+        prof::appendHostSpans(trace);
     bool as_jsonl =
         path.size() >= 6 &&
         path.compare(path.size() - 6, 6, ".jsonl") == 0;
@@ -136,6 +215,7 @@ writeEventTrace(const EventTrace &trace, const std::string &path)
 inline Json
 writeAndReloadJson(const std::string &path, const Json &doc)
 {
+    SMTHILL_PROF_SCOPE("bench.export");
     {
         std::ofstream out(path, std::ios::binary);
         out << doc.dump(2) << '\n';
@@ -161,6 +241,55 @@ checkExportValue(const char *what, double a, double b)
     if (a != b)
         fatal(msg("export self-check failed for ", what, ": ", a,
                   " != ", b));
+}
+
+/**
+ * Emit the host-profile report when profiling is on: to
+ * SMTHILL_PROFILE_JSON as a `smthill.profile.v1` document (with a
+ * write/reload/reparse self-check, like the figure exports), or as a
+ * compact stdout table of the heaviest spans. No-op when profiling
+ * is off, keeping default bench output byte-identical.
+ */
+inline void
+exportProfileIfEnabled()
+{
+    if (!prof::profilingEnabled())
+        return;
+    const prof::ProfileReport report = prof::profileReport();
+    const std::string path = profileJsonPath();
+    if (!path.empty()) {
+        Json reloaded =
+            writeAndReloadJson(path, prof::profileToJson(report));
+        prof::ProfileReport back;
+        std::string error;
+        if (!prof::profileFromJson(reloaded, back, error))
+            fatal(msg("profile export '", path,
+                      "' does not reload: ", error));
+        std::printf("wrote host profile to %s (%zu spans, "
+                    "parallel_efficiency %.3f)\n",
+                    path.c_str(), report.spans.size(),
+                    report.parallelEfficiency);
+        return;
+    }
+    std::vector<prof::SpanStats> spans = report.spans;
+    std::sort(spans.begin(), spans.end(),
+              [](const prof::SpanStats &a, const prof::SpanStats &b) {
+                  return a.totalNs > b.totalNs;
+              });
+    std::printf("host profile (parallel_efficiency %.3f):\n",
+                report.parallelEfficiency);
+    std::printf("  %-28s %10s %12s %12s %12s\n", "span", "count",
+                "total_ms", "self_ms", "max_ms");
+    const std::size_t shown = spans.size() < 12 ? spans.size() : 12;
+    for (std::size_t i = 0; i < shown; ++i) {
+        const prof::SpanStats &s = spans[i];
+        std::printf("  %-28s %10llu %12.3f %12.3f %12.3f\n",
+                    s.name.c_str(),
+                    static_cast<unsigned long long>(s.count),
+                    static_cast<double>(s.totalNs) / 1e6,
+                    static_cast<double>(s.selfNs) / 1e6,
+                    static_cast<double>(s.maxNs) / 1e6);
+    }
 }
 
 } // namespace smthill::benchutil

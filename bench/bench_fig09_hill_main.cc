@@ -54,6 +54,11 @@ main()
     const std::vector<Workload> &workloads = allWorkloads();
     std::vector<Row> rows(workloads.size());
 
+    // Opt-in time series: one smthill.snapshots.v1 delta row per
+    // completed workload cell (host telemetry only; the race results
+    // are unaffected).
+    SnapshotSink snapshots(snapshotsPath());
+
     runGrid(workloads.size(), rc.jobs, [&](std::size_t i) {
         const Workload &w = workloads[i];
         auto solo = soloIpcs(w, rc, soloWindow(rc));
@@ -97,6 +102,7 @@ main()
         r.bandit = runPolicy(w, bandit, rc)
                        .metric(PerfMetric::WeightedIpc, solo);
         r.rl = runPolicy(w, rl, rc).metric(PerfMetric::WeightedIpc, solo);
+        snapshots.sample(i, 0);
     });
 
     Table t({"workload", "group", "ICOUNT", "FLUSH", "DCRA",
@@ -213,5 +219,6 @@ main()
                     "file match)\n",
                     export_path.c_str());
     }
+    exportProfileIfEnabled();
     return 0;
 }

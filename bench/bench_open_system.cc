@@ -117,6 +117,11 @@ main()
     const SmtCpu checkpoint = proto.makeMachine();
     MachineArena arena(jobs);
 
+    // Opt-in time series: one smthill.snapshots.v1 delta row per
+    // completed cell (host telemetry only; cell results are
+    // unaffected).
+    SnapshotSink snapshots(snapshotsPath());
+
     runGridWorker(cells, jobs, [&](std::size_t cell, int worker) {
         const Cycle gap = mean_gaps[cell / kNumPolicies];
         const int pi = static_cast<int>(cell % kNumPolicies);
@@ -126,6 +131,7 @@ main()
         auto policy = makePolicy(pi, cfg.epochSize, base.seed);
         SmtCpu &cpu = arena.acquire(worker, checkpoint);
         results[cell] = sys.runOn(cpu, *policy);
+        snapshots.sample(cell, results[cell].cycles);
     });
 
     for (std::size_t gi = 0; gi < kNumGaps; ++gi) {
@@ -208,5 +214,6 @@ main()
         std::printf("wrote open-system stats to %s\n",
                     stats_path.c_str());
     }
+    exportProfileIfEnabled();
     return 0;
 }

@@ -22,6 +22,41 @@ StatDistribution::add(double v)
     ++n;
     total += v;
     totalSq += v * v;
+
+    // Strided reservoir for the quantile estimates: record every
+    // stride-th sample; when the reservoir fills, keep every other
+    // retained sample and double the stride. Fully deterministic, so
+    // two identical sample streams yield identical quantiles.
+    ++sinceLastSample;
+    if (sinceLastSample >= sampleStride) {
+        sinceLastSample = 0;
+        if (samples.size() >= kSampleCap) {
+            for (std::size_t i = 0; 2 * i < samples.size(); ++i)
+                samples[i] = samples[2 * i];
+            samples.resize((samples.size() + 1) / 2);
+            sampleStride *= 2;
+        }
+        samples.push_back(v);
+    }
+}
+
+double
+StatDistribution::quantile(double q) const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    if (samples.empty())
+        return 0.0;
+    if (q < 0.0)
+        q = 0.0;
+    if (q > 1.0)
+        q = 1.0;
+    std::vector<double> sorted = samples;
+    std::sort(sorted.begin(), sorted.end());
+    auto idx = static_cast<std::size_t>(
+        q * static_cast<double>(sorted.size() - 1) + 0.5);
+    if (idx >= sorted.size())
+        idx = sorted.size() - 1;
+    return sorted[idx];
 }
 
 std::uint64_t
@@ -72,6 +107,9 @@ StatDistribution::reset()
     totalSq = 0.0;
     lo = 0.0;
     hi = 0.0;
+    samples.clear();
+    sampleStride = 1;
+    sinceLastSample = 0;
 }
 
 StatRegistry::Node &
@@ -130,12 +168,59 @@ StatRegistry::toJson() const
             d.set("count", Json(node.dist.count()));
             d.set("mean", Json(node.dist.mean()));
             d.set("min", Json(node.dist.min()));
+            d.set("p50", Json(node.dist.p50()));
+            d.set("p95", Json(node.dist.p95()));
             d.set("max", Json(node.dist.max()));
             d.set("stddev", Json(node.dist.stddev()));
             out.set(node.name, std::move(d));
             break;
           }
         }
+    }
+    return out;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>>
+StatRegistry::counterValues() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    std::vector<std::pair<std::string, std::uint64_t>> out;
+    for (const Node &node : nodes) {
+        if (node.kind == Kind::Counter)
+            out.emplace_back(node.name, node.counter.value());
+    }
+    return out;
+}
+
+std::vector<std::pair<std::string, double>>
+StatRegistry::gaugeValues() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    std::vector<std::pair<std::string, double>> out;
+    for (const Node &node : nodes) {
+        if (node.kind == Kind::Gauge)
+            out.emplace_back(node.name, node.gauge.value());
+    }
+    return out;
+}
+
+std::vector<StatRegistry::DistSummary>
+StatRegistry::distributionValues() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    std::vector<DistSummary> out;
+    for (const Node &node : nodes) {
+        if (node.kind != Kind::Distribution)
+            continue;
+        DistSummary s;
+        s.name = node.name;
+        s.count = node.dist.count();
+        s.mean = node.dist.mean();
+        s.min = node.dist.min();
+        s.p50 = node.dist.p50();
+        s.p95 = node.dist.p95();
+        s.max = node.dist.max();
+        out.push_back(std::move(s));
     }
     return out;
 }

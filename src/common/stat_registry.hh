@@ -73,7 +73,15 @@ class StatGauge
     std::atomic<double> val{0.0};
 };
 
-/** Sample stream summarized as count/mean/min/max/stddev. */
+/**
+ * Sample stream summarized as count/mean/min/max/stddev plus
+ * deterministic quantile estimates (p50/p95). Quantiles come from a
+ * bounded sample reservoir decimated by doubling the keep-stride
+ * whenever it fills — no randomness, so replays and clones agree
+ * exactly. Below kSampleCap samples the quantiles are exact
+ * (nearest-rank); beyond that they are estimates over an evenly
+ * strided subset.
+ */
 class StatDistribution
 {
   public:
@@ -84,7 +92,15 @@ class StatDistribution
     double min() const;
     double max() const;
     double stddev() const;
+
+    /** Nearest-rank quantile of the retained samples; 0 when empty. */
+    double quantile(double q) const;
+    double p50() const { return quantile(0.5); }
+    double p95() const { return quantile(0.95); }
+
     void reset();
+
+    static constexpr std::size_t kSampleCap = 2048;
 
   private:
     mutable std::mutex mutex;
@@ -93,6 +109,9 @@ class StatDistribution
     double totalSq = 0.0;
     double lo = 0.0;
     double hi = 0.0;
+    std::vector<double> samples;       ///< strided quantile reservoir
+    std::uint64_t sampleStride = 1;    ///< record every stride-th add
+    std::uint64_t sinceLastSample = 0;
 };
 
 /**
@@ -115,12 +134,36 @@ class StatRegistry
     /**
      * Export every stat as one JSON object keyed by name:
      * counters as integers, gauges as doubles, distributions as
-     * {count, mean, min, max, stddev} objects.
+     * {count, mean, min, p50, p95, max, stddev} objects.
      */
     Json toJson() const;
 
     /** Registered names in registration order (tests, listings). */
     std::vector<std::string> names() const;
+
+    // --- Typed enumeration (periodic snapshots) --------------------
+
+    /** Distribution summary row for snapshot export. */
+    struct DistSummary
+    {
+        std::string name;
+        std::uint64_t count = 0;
+        double mean = 0.0;
+        double min = 0.0;
+        double p50 = 0.0;
+        double p95 = 0.0;
+        double max = 0.0;
+    };
+
+    /** (name, value) of every counter, registration order. */
+    std::vector<std::pair<std::string, std::uint64_t>>
+    counterValues() const;
+
+    /** (name, value) of every gauge, registration order. */
+    std::vector<std::pair<std::string, double>> gaugeValues() const;
+
+    /** Summary of every distribution, registration order. */
+    std::vector<DistSummary> distributionValues() const;
 
     /** Reset counters/gauges to zero and drop distribution samples. */
     void resetValues();

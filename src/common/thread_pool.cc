@@ -4,6 +4,8 @@
 #include <exception>
 #include <limits>
 
+#include "common/profile.hh"
+
 namespace smthill
 {
 
@@ -53,6 +55,10 @@ ThreadPool::workerLoop()
     for (;;) {
         std::function<void()> task;
         {
+            // Idle span: time this worker spends parked on the queue.
+            // Together with the busy span below it yields a measured
+            // parallel_efficiency (see prof::ProfileReport).
+            SMTHILL_PROF_SCOPE(prof::kWorkerIdleSpan);
             std::unique_lock<std::mutex> lock(queueMutex);
             queueCv.wait(lock,
                          [this] { return shuttingDown || !queue.empty(); });
@@ -63,7 +69,10 @@ ThreadPool::workerLoop()
             queueDepthStat.set(static_cast<double>(queue.size()));
         }
         tasksStat.inc();
-        task();
+        {
+            SMTHILL_PROF_SCOPE(prof::kWorkerBusySpan);
+            task();
+        }
     }
 }
 

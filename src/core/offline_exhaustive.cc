@@ -1,6 +1,7 @@
 #include "core/offline_exhaustive.hh"
 
 #include "common/log.hh"
+#include "common/profile.hh"
 
 namespace smthill
 {
@@ -8,6 +9,7 @@ namespace smthill
 IpcSample
 runTrialEpoch(SmtCpu &trial, const Partition &partition, Cycle epoch_size)
 {
+    SMTHILL_PROF_SCOPE("offline.trial_epoch");
     trial.setPartition(partition);
     auto before = trial.stats().committed;
     trial.run(epoch_size);
@@ -69,6 +71,7 @@ OfflineExhaustive::OfflineExhaustive(OfflineConfig config)
 OfflineEpoch
 OfflineExhaustive::stepEpoch(SmtCpu &cpu) const
 {
+    SMTHILL_PROF_SCOPE("offline.step_epoch");
     if (cpu.numThreads() != 2)
         fatal("OfflineExhaustive: exhaustive search supports exactly "
               "2 hardware contexts (use RandHill for more)");

@@ -1,0 +1,268 @@
+#include "harness/bench_diff.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+namespace smthill
+{
+
+namespace
+{
+
+bool
+endsWithStr(const std::string &s, const std::string &suffix)
+{
+    return s.size() >= suffix.size() &&
+           s.compare(s.size() - suffix.size(), suffix.size(),
+                     suffix) == 0;
+}
+
+bool
+startsWithStr(const std::string &s, const std::string &prefix)
+{
+    return s.rfind(prefix, 0) == 0;
+}
+
+/** One comparable entry: a named bag of numeric metrics. */
+struct FlatEntry
+{
+    std::string key;
+    std::vector<std::pair<std::string, double>> metrics;
+};
+
+/** Join the string-valued members of @p obj as a stable entry key. */
+std::string
+entryKey(const std::string &prefix, const Json &obj, std::size_t index)
+{
+    std::string key = prefix;
+    bool named = false;
+    for (const auto &[field, value] : obj.members()) {
+        if (value.isString()) {
+            key += "/" + value.asString();
+            named = true;
+        }
+    }
+    if (!named)
+        key += "/" + std::to_string(index);
+    return key;
+}
+
+void
+pushNumericMembers(const Json &obj, FlatEntry &entry)
+{
+    for (const auto &[field, value] : obj.members()) {
+        if (value.isNumber())
+            entry.metrics.emplace_back(field, value.asDouble());
+    }
+}
+
+/**
+ * Flatten a bench/profile document: top-level numbers form one
+ * "(top)" entry, each object of a top-level array becomes an entry
+ * keyed by its string fields, and each top-level object contributes
+ * its numeric members as an entry (e.g. the counters blob). Nested
+ * structure beyond that is ignored — the gate compares headline
+ * metrics, not whole documents.
+ */
+void
+flattenDoc(const Json &doc, std::vector<FlatEntry> &out)
+{
+    FlatEntry top;
+    top.key = "(top)";
+    pushNumericMembers(doc, top);
+    if (!top.metrics.empty())
+        out.push_back(std::move(top));
+
+    for (const auto &[field, value] : doc.members()) {
+        if (value.isArray()) {
+            std::size_t index = 0;
+            for (const Json &item : value.items()) {
+                if (!item.isObject()) {
+                    ++index;
+                    continue;
+                }
+                FlatEntry e;
+                e.key = entryKey(field, item, index);
+                pushNumericMembers(item, e);
+                if (!e.metrics.empty())
+                    out.push_back(std::move(e));
+                ++index;
+            }
+        } else if (value.isObject()) {
+            FlatEntry e;
+            e.key = field;
+            pushNumericMembers(value, e);
+            if (!e.metrics.empty())
+                out.push_back(std::move(e));
+        }
+    }
+}
+
+} // namespace
+
+int
+metricDirection(const std::string &metric)
+{
+    if (metric.find("per_sec") != std::string::npos ||
+        metric == "throughput" || metric == "ipc" ||
+        metric == "fairness" || metric == "parallel_efficiency" ||
+        endsWithStr(metric, "_ipc"))
+        return 1;
+    if (metric.find("ns_per_iter") != std::string::npos ||
+        startsWithStr(metric, "latency_") ||
+        endsWithStr(metric, "_mpki") || endsWithStr(metric, "_ns"))
+        return -1;
+    return 0;
+}
+
+double
+metricNoisePct(const std::string &metric)
+{
+    switch (metricDirection(metric)) {
+      case 0:
+        return 0.0;
+      case 1:
+        // Throughput-like. Timing-derived rates get the full machine
+        // noise margin; sim-derived ratios are deterministic but may
+        // shift slightly across compilers, so a small band stays.
+        if (metric == "parallel_efficiency")
+            return 20.0;
+        if (metric.find("per_sec") != std::string::npos)
+            return 10.0;
+        return 5.0;
+      default:
+        // Latency-like. Host-clock span totals (profile exports) are
+        // far noisier than per-iteration bench timings or simulated
+        // latencies.
+        if (endsWithStr(metric, "_ns"))
+            return 50.0;
+        if (metric.find("ns_per_iter") != std::string::npos)
+            return 10.0;
+        return 5.0;
+    }
+}
+
+bool
+diffBenchDocs(const Json &baseline, const Json &candidate,
+              double noise_override_pct, BenchDiffResult &out,
+              std::string &error)
+{
+    out = BenchDiffResult{};
+    error.clear();
+    if (!baseline.isObject() || !baseline.contains("schema") ||
+        !baseline.at("schema").isString()) {
+        error = "baseline document has no \"schema\" string";
+        return false;
+    }
+    if (!candidate.isObject() || !candidate.contains("schema") ||
+        !candidate.at("schema").isString()) {
+        error = "candidate document has no \"schema\" string";
+        return false;
+    }
+    out.schema = baseline.at("schema").asString();
+    if (candidate.at("schema").asString() != out.schema) {
+        error = "schema mismatch: baseline " + out.schema +
+                " vs candidate " + candidate.at("schema").asString();
+        return false;
+    }
+
+    std::vector<FlatEntry> baseEntries;
+    std::vector<FlatEntry> candEntries;
+    flattenDoc(baseline, baseEntries);
+    flattenDoc(candidate, candEntries);
+    std::map<std::string, std::map<std::string, double>> candIndex;
+    for (const FlatEntry &e : candEntries) {
+        auto &metrics = candIndex[e.key];
+        for (const auto &[metric, value] : e.metrics)
+            metrics[metric] = value;
+    }
+
+    for (const FlatEntry &e : baseEntries) {
+        auto ci = candIndex.find(e.key);
+        if (ci == candIndex.end()) {
+            out.notes.push_back("entry \"" + e.key +
+                                "\" missing from candidate");
+            continue;
+        }
+        for (const auto &[metric, baseValue] : e.metrics) {
+            auto mi = ci->second.find(metric);
+            if (mi == ci->second.end()) {
+                out.notes.push_back("metric \"" + e.key + "." + metric +
+                                    "\" missing from candidate");
+                continue;
+            }
+            MetricDelta d;
+            d.entry = e.key;
+            d.metric = metric;
+            d.baseline = baseValue;
+            d.candidate = mi->second;
+            d.direction = metricDirection(metric);
+            if (baseValue != 0.0) {
+                d.deltaPct = 100.0 * (d.candidate - d.baseline) /
+                             std::fabs(d.baseline);
+            } else {
+                d.deltaPct = d.candidate == 0.0 ? 0.0 : 100.0;
+                d.direction = 0; // no meaningful relative change
+            }
+            if (d.direction != 0) {
+                d.noisePct = noise_override_pct > 0.0
+                                 ? noise_override_pct
+                                 : metricNoisePct(metric);
+                ++out.gatedMetrics;
+                d.regression =
+                    (d.direction > 0 && d.deltaPct < -d.noisePct) ||
+                    (d.direction < 0 && d.deltaPct > d.noisePct);
+                if (d.regression)
+                    out.regressed = true;
+            }
+            out.deltas.push_back(std::move(d));
+        }
+    }
+    for (const FlatEntry &e : candEntries) {
+        bool known = false;
+        for (const FlatEntry &b : baseEntries)
+            known = known || b.key == e.key;
+        if (!known)
+            out.notes.push_back("entry \"" + e.key +
+                                "\" new in candidate");
+    }
+    return true;
+}
+
+std::string
+renderBenchDiff(const BenchDiffResult &result)
+{
+    std::ostringstream os;
+    os << "bench-diff [" << result.schema << "]\n";
+    char line[256];
+    int infoSkipped = 0;
+    for (const MetricDelta &d : result.deltas) {
+        if (d.direction == 0) {
+            ++infoSkipped;
+            continue;
+        }
+        const char *verdict = d.regression
+                                  ? "REGRESSION"
+                                  : (d.deltaPct * d.direction >
+                                             d.noisePct
+                                         ? "improved"
+                                         : "ok");
+        std::snprintf(line, sizeof(line),
+                      "  %-44s %-18s %14.4f %14.4f %+8.2f%% (tol "
+                      "%.0f%%) %s\n",
+                      d.entry.c_str(), d.metric.c_str(), d.baseline,
+                      d.candidate, d.deltaPct, d.noisePct, verdict);
+        os << line;
+    }
+    for (const std::string &note : result.notes)
+        os << "  note: " << note << "\n";
+    os << "  " << result.gatedMetrics << " gated metric(s), "
+       << infoSkipped << " informational skipped, "
+       << (result.regressed ? "REGRESSION detected" : "no regression")
+       << "\n";
+    return os.str();
+}
+
+} // namespace smthill

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Bench-export regression diff: compares two machine-readable bench
+ * documents (`smthill.bench.*.v1` or `smthill.profile.v1`) metric by
+ * metric so `bench/BENCH_*.json` baselines become a tracked perf
+ * trajectory instead of a write-only artifact.
+ *
+ * The comparison is schema-generic: both documents must carry the
+ * same "schema" string; entries are the objects of every top-level
+ * array member (benchmarks, rows, cells, spans...), keyed by the
+ * entry's string-valued fields, and every shared numeric field is
+ * compared. Direction and noise tolerance come from the metric name
+ * (metricDirection/metricNoisePct): throughput-like metrics regress
+ * when they drop, latency-like metrics when they rise, and anything
+ * unrecognized is reported but never gates — counts, seeds, and
+ * iteration totals are expected to move.
+ */
+
+#ifndef SMTHILL_HARNESS_BENCH_DIFF_HH
+#define SMTHILL_HARNESS_BENCH_DIFF_HH
+
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+
+namespace smthill
+{
+
+/** One compared metric of one entry. */
+struct MetricDelta
+{
+    std::string entry;     ///< e.g. "benchmarks/BM_CoreCycles/smt2_mem"
+    std::string metric;    ///< field name, e.g. "kcycles_per_sec"
+    double baseline = 0.0;
+    double candidate = 0.0;
+    double deltaPct = 0.0;     ///< (candidate - baseline) / |baseline|
+    int direction = 0;         ///< +1 higher-better, -1 lower, 0 info
+    double noisePct = 0.0;     ///< tolerance applied (0 when info)
+    bool regression = false;
+};
+
+/** Outcome of diffing two documents. */
+struct BenchDiffResult
+{
+    std::string schema;
+    std::vector<MetricDelta> deltas;  ///< entry order of the baseline
+    std::vector<std::string> notes;   ///< unmatched entries/fields
+    bool regressed = false;
+    int gatedMetrics = 0;             ///< deltas with a direction
+};
+
+/** @return +1 higher-is-better, -1 lower-is-better, 0 informational. */
+int metricDirection(const std::string &metric);
+
+/** @return per-metric noise tolerance in percent (0 when info). */
+double metricNoisePct(const std::string &metric);
+
+/**
+ * Diff @p baseline against @p candidate. @p noise_override_pct > 0
+ * replaces every gated metric's default tolerance. @return false with
+ * @p error set when the documents are not comparable (missing or
+ * mismatched "schema", not objects).
+ */
+bool diffBenchDocs(const Json &baseline, const Json &candidate,
+                   double noise_override_pct, BenchDiffResult &out,
+                   std::string &error);
+
+/** Human-readable table of @p result (one line per metric + verdict). */
+std::string renderBenchDiff(const BenchDiffResult &result);
+
+} // namespace smthill
+
+#endif // SMTHILL_HARNESS_BENCH_DIFF_HH

@@ -8,6 +8,7 @@
 #include <optional>
 
 #include "common/log.hh"
+#include "common/profile.hh"
 #include "common/stat_registry.hh"
 #include "trace/spec_profiles.hh"
 
@@ -117,6 +118,7 @@ makeCpu(const Workload &workload, const RunConfig &config)
     MachineKey key{workload.name, config.seedSalt, config.warmupCycles,
                    config.machine};
     return cache.get(key, [&] {
+        SMTHILL_PROF_SCOPE("harness.warm_build");
         SmtConfig machine = config.machine;
         machine.numThreads = workload.numThreads();
         SmtCpu cpu(machine, workload.makeGenerators(config.seedSalt));
@@ -128,6 +130,7 @@ makeCpu(const Workload &workload, const RunConfig &config)
 IpcSample
 runOneEpoch(SmtCpu &cpu, ResourcePolicy &policy, Cycle epoch_size)
 {
+    SMTHILL_PROF_SCOPE("runner.epoch");
     auto before = cpu.stats().committed;
     for (Cycle c = 0; c < epoch_size; ++c) {
         policy.cycle(cpu);
@@ -145,8 +148,9 @@ runOneEpoch(SmtCpu &cpu, ResourcePolicy &policy, Cycle epoch_size)
 
 RunResult
 runPolicyOn(SmtCpu cpu, ResourcePolicy &policy, int epochs,
-            Cycle epoch_size)
+            Cycle epoch_size, const EpochObserver &on_epoch)
 {
+    SMTHILL_PROF_SCOPE("runner.policy_run");
     RunResult res;
     res.epochs.reserve(epochs);
     // The machine arrived by value, so any event-trace link its
@@ -168,6 +172,8 @@ runPolicyOn(SmtCpu cpu, ResourcePolicy &policy, int epochs,
         rec.ipc = runOneEpoch(cpu, policy, epoch_size);
         res.epochs.push_back(rec);
         policy.epoch(cpu, static_cast<std::uint64_t>(e));
+        if (on_epoch)
+            on_epoch(e, cpu);
     }
 
     Cycle elapsed = cpu.now() - start_cycle;
@@ -215,6 +221,7 @@ soloIpc(const std::string &benchmark, const RunConfig &config,
                 config.machine};
     key.machine.numThreads = 1; // solo runs always use one context
     return cache.get(key, [&] {
+        SMTHILL_PROF_SCOPE("harness.solo_build");
         SmtConfig machine = config.machine;
         machine.numThreads = 1;
         std::vector<StreamGenerator> gens;

@@ -94,9 +94,18 @@ SmtCpu makeCpu(const Workload &workload, const RunConfig &config);
 RunResult runPolicy(const Workload &workload, ResourcePolicy &policy,
                     const RunConfig &config);
 
+/**
+ * Per-epoch observer for runPolicyOn: called after each epoch's
+ * policy.epoch() hook with the epoch index and the machine. Host-side
+ * telemetry only (stat snapshots, progress); the run ignores anything
+ * the callback does, so results are identical with or without one.
+ */
+using EpochObserver = std::function<void(int epoch, const SmtCpu &cpu)>;
+
 /** Same, but starting from an existing machine state (moved in). */
 RunResult runPolicyOn(SmtCpu cpu, ResourcePolicy &policy, int epochs,
-                      Cycle epoch_size);
+                      Cycle epoch_size,
+                      const EpochObserver &on_epoch = {});
 
 /**
  * Advance @p cpu by exactly one epoch under @p policy (cycle hooks

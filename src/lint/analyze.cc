@@ -1030,6 +1030,8 @@ passHotPathAllocation(ProjectModel &model, PassReporter &rep)
             "common/log.hh",           "common/log.cc",
             "common/event_trace.hh",   "common/event_trace.cc",
             "common/stat_registry.hh", "common/stat_registry.cc",
+            "common/profile.hh",       "common/profile.cc",
+            "common/stat_snapshot.hh", "common/stat_snapshot.cc",
         };
         for (const std::string &suffix : plumbing) {
             if (endsWith(fn.file, suffix))

@@ -330,6 +330,12 @@ FileScanner::checkDeterminismIdent(std::size_t i)
     static const std::set<std::string> clockCalls = {"time", "clock"};
     if (clockTypes.count(t.text) ||
         (clockCalls.count(t.text) && isCall(i))) {
+        // Sanctioned carve-out (the exit-in-log.cc shape): the host
+        // profiler is the one component allowed to read a monotonic
+        // clock. Its data never flows into sim state — the contract
+        // is pinned by the profiler-off bit-identity tests.
+        if (endsWith(path, "common/profile.cc"))
+            return;
         report("no-wall-clock", t.line,
                "wall-clock source '" + t.text +
                    "' breaks replay determinism; derive timing from "
@@ -555,8 +561,9 @@ FileScanner::scanDirectives()
                        "<" + target +
                            "> include; iteration order varies, use "
                            "ordered containers");
-            } else if (target == "ctime" || target == "time.h" ||
-                       target == "sys/time.h") {
+            } else if ((target == "ctime" || target == "time.h" ||
+                        target == "sys/time.h") &&
+                       !endsWith(path, "common/profile.cc")) {
                 report("no-wall-clock", t.line,
                        "<" + target +
                            "> include; derive timing from simulated "
@@ -758,6 +765,27 @@ schemaCatalog()
              "cells",      "workload", "group",      "threads",
              "icount",     "flush",    "dcra",       "hill",
              "phase_hill", "bandit",   "rl",         "counters",
+         }},
+        // smthill.profile.v1 (common/profile.hh): host-side profiler
+        // report. Writer and parser both live in common/profile.cc
+        // (round-trip by construction).
+        {"smthill.profile.v1",
+         {"common/profile.cc"},
+         {
+             "schema",   "spans",   "threads",
+             "name",     "count",   "total_ns",
+             "self_ns",  "max_ns",  "thread",
+             "parallel_efficiency",
+         }},
+        // smthill.snapshots.v1 (common/stat_snapshot.hh): periodic
+        // StatRegistry delta rows (JSONL stream).
+        {"smthill.snapshots.v1",
+         {"common/stat_snapshot.cc"},
+         {
+             "schema",   "seq",     "epoch",  "cycle",
+             "counters", "gauges",  "dists",  "count",
+             "mean",     "min",     "p50",    "p95",
+             "max",
          }},
         // smthill.lint.v1 (lint/lint.hh): findings documents from
         // both smthill_lint and smthill_analyze, including the

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "common/profile.hh"
 
 namespace smthill
 {
@@ -251,6 +252,9 @@ SmtCpu::step()
 void
 SmtCpu::run(Cycle n)
 {
+    // One span per batch, never per cycle: step() stays scope-free so
+    // the profiler costs nothing measurable on the core loop.
+    SMTHILL_PROF_SCOPE("cpu.run");
     for (Cycle i = 0; i < n; ++i)
         step();
 }

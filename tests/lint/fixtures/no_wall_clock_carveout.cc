@@ -1,0 +1,14 @@
+// Carve-out fixture for rule `no-wall-clock` (lexed, never compiled):
+// identical content must lint clean under src/common/profile.cc —
+// the host profiler's sanctioned steady-clock home — and flag under
+// every other src/ path. Covers both the identifier branch
+// (steady_clock) and the include branch (<ctime>).
+#include <chrono>
+#include <ctime>
+
+long
+hostSpanNowNs()
+{
+    auto t0 = std::chrono::steady_clock::now();
+    return static_cast<long>(t0.time_since_epoch().count());
+}

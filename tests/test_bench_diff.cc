@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Unit tests for the bench-export regression gate: direction/noise
+ * classification by metric name, self-diff always passing, injected
+ * regressions being flagged, threshold overrides, and unmatched
+ * entry/metric reporting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "harness/bench_diff.hh"
+
+namespace smthill
+{
+namespace
+{
+
+/** Minimal sim-speed-shaped document with one benchmark entry. */
+Json
+speedDoc(double kcycles, double ns_per_iter)
+{
+    Json doc = Json::object();
+    doc.set("schema", Json("smthill.bench.sim-speed.v1"));
+    Json rows = Json::array();
+    Json row = Json::object();
+    row.set("name", Json("BM_CoreCycles/threads:2"));
+    row.set("iterations", Json(static_cast<std::uint64_t>(64)));
+    row.set("kcycles_per_sec", Json(kcycles));
+    row.set("real_ns_per_iter", Json(ns_per_iter));
+    rows.push(std::move(row));
+    doc.set("benchmarks", std::move(rows));
+    return doc;
+}
+
+const MetricDelta *
+findDelta(const BenchDiffResult &result, const std::string &metric)
+{
+    for (const MetricDelta &d : result.deltas)
+        if (d.metric == metric)
+            return &d;
+    return nullptr;
+}
+
+TEST(BenchDiff, MetricDirectionByName)
+{
+    EXPECT_EQ(metricDirection("kcycles_per_sec"), 1);
+    EXPECT_EQ(metricDirection("items_per_sec"), 1);
+    EXPECT_EQ(metricDirection("throughput"), 1);
+    EXPECT_EQ(metricDirection("weighted_ipc"), 1);
+    EXPECT_EQ(metricDirection("parallel_efficiency"), 1);
+    EXPECT_EQ(metricDirection("real_ns_per_iter"), -1);
+    EXPECT_EQ(metricDirection("latency_p99"), -1);
+    EXPECT_EQ(metricDirection("total_ns"), -1);
+    EXPECT_EQ(metricDirection("iterations"), 0);
+    EXPECT_EQ(metricDirection("seed"), 0);
+}
+
+TEST(BenchDiff, NoisePctByClass)
+{
+    EXPECT_EQ(metricNoisePct("parallel_efficiency"), 20.0);
+    EXPECT_EQ(metricNoisePct("kcycles_per_sec"), 10.0);
+    EXPECT_EQ(metricNoisePct("weighted_ipc"), 5.0);
+    EXPECT_EQ(metricNoisePct("total_ns"), 50.0);
+    EXPECT_EQ(metricNoisePct("real_ns_per_iter"), 10.0);
+    EXPECT_EQ(metricNoisePct("iterations"), 0.0);
+}
+
+TEST(BenchDiff, SelfDiffNeverRegresses)
+{
+    Json doc = speedDoc(800.0, 1.25e6);
+    BenchDiffResult result;
+    std::string error;
+    ASSERT_TRUE(diffBenchDocs(doc, doc, 0.0, result, error)) << error;
+    EXPECT_FALSE(result.regressed);
+    EXPECT_GT(result.gatedMetrics, 0);
+    EXPECT_TRUE(result.notes.empty());
+    for (const MetricDelta &d : result.deltas)
+        EXPECT_EQ(d.deltaPct, 0.0);
+}
+
+TEST(BenchDiff, TwentyPercentSlowdownIsFlagged)
+{
+    Json base = speedDoc(800.0, 1.25e6);
+    Json cand = speedDoc(640.0, 1.50e6); // -20% rate, +20% latency
+    BenchDiffResult result;
+    std::string error;
+    ASSERT_TRUE(diffBenchDocs(base, cand, 0.0, result, error)) << error;
+    EXPECT_TRUE(result.regressed);
+
+    const MetricDelta *rate = findDelta(result, "kcycles_per_sec");
+    ASSERT_NE(rate, nullptr);
+    EXPECT_TRUE(rate->regression);
+    EXPECT_NEAR(rate->deltaPct, -20.0, 1e-9);
+
+    const MetricDelta *lat = findDelta(result, "real_ns_per_iter");
+    ASSERT_NE(lat, nullptr);
+    EXPECT_TRUE(lat->regression);
+
+    // Informational fields never gate, whatever they do.
+    const MetricDelta *iters = findDelta(result, "iterations");
+    ASSERT_NE(iters, nullptr);
+    EXPECT_FALSE(iters->regression);
+    EXPECT_EQ(iters->direction, 0);
+}
+
+TEST(BenchDiff, ImprovementIsNotARegression)
+{
+    Json base = speedDoc(800.0, 1.25e6);
+    Json cand = speedDoc(1000.0, 1.00e6); // +25% rate, -20% latency
+    BenchDiffResult result;
+    std::string error;
+    ASSERT_TRUE(diffBenchDocs(base, cand, 0.0, result, error)) << error;
+    EXPECT_FALSE(result.regressed);
+}
+
+TEST(BenchDiff, WithinNoiseBandPasses)
+{
+    Json base = speedDoc(800.0, 1.25e6);
+    Json cand = speedDoc(760.0, 1.30e6); // -5% / +4%: inside 10%
+    BenchDiffResult result;
+    std::string error;
+    ASSERT_TRUE(diffBenchDocs(base, cand, 0.0, result, error)) << error;
+    EXPECT_FALSE(result.regressed);
+}
+
+TEST(BenchDiff, ThresholdOverrideTightensTheGate)
+{
+    Json base = speedDoc(800.0, 1.25e6);
+    Json cand = speedDoc(760.0, 1.25e6); // -5%: inside default 10%
+    BenchDiffResult result;
+    std::string error;
+    ASSERT_TRUE(diffBenchDocs(base, cand, 2.0, result, error)) << error;
+    EXPECT_TRUE(result.regressed);
+    const MetricDelta *rate = findDelta(result, "kcycles_per_sec");
+    ASSERT_NE(rate, nullptr);
+    EXPECT_EQ(rate->noisePct, 2.0);
+}
+
+TEST(BenchDiff, SchemaMismatchIsNotComparable)
+{
+    Json base = speedDoc(800.0, 1.25e6);
+    Json other = speedDoc(800.0, 1.25e6);
+    other.set("schema", Json("smthill.bench.open-system.v1"));
+    BenchDiffResult result;
+    std::string error;
+    EXPECT_FALSE(diffBenchDocs(base, other, 0.0, result, error));
+    EXPECT_NE(error.find("schema mismatch"), std::string::npos);
+
+    Json no_schema = Json::object();
+    EXPECT_FALSE(diffBenchDocs(no_schema, base, 0.0, result, error));
+    EXPECT_FALSE(error.empty());
+}
+
+TEST(BenchDiff, UnmatchedEntriesAndMetricsAreNoted)
+{
+    // base has a second benchmark entry the candidate lacks.
+    Json base = Json::object();
+    base.set("schema", Json("smthill.bench.sim-speed.v1"));
+    Json rows = Json::array();
+    Json row0 = Json::object();
+    row0.set("name", Json("BM_CoreCycles/threads:2"));
+    row0.set("kcycles_per_sec", Json(800.0));
+    rows.push(std::move(row0));
+    Json row1 = Json::object();
+    row1.set("name", Json("BM_HillEpoch"));
+    row1.set("kcycles_per_sec", Json(500.0));
+    rows.push(std::move(row1));
+    base.set("benchmarks", std::move(rows));
+
+    Json extra = speedDoc(800.0, 1.25e6);
+    BenchDiffResult result;
+    std::string error;
+    ASSERT_TRUE(diffBenchDocs(base, extra, 0.0, result, error)) << error;
+    // The baseline-only entry is reported but cannot gate.
+    EXPECT_FALSE(result.regressed);
+    ASSERT_FALSE(result.notes.empty());
+    EXPECT_NE(result.notes[0].find("BM_HillEpoch"), std::string::npos);
+
+    // And in reverse, the candidate-only entry is reported as new
+    // (after the notes about its missing metrics).
+    BenchDiffResult reversed;
+    ASSERT_TRUE(diffBenchDocs(extra, base, 0.0, reversed, error))
+        << error;
+    bool saw_new = false;
+    for (const std::string &note : reversed.notes)
+        saw_new = saw_new ||
+                  note.find("new in candidate") != std::string::npos;
+    EXPECT_TRUE(saw_new);
+}
+
+TEST(BenchDiff, RenderMentionsVerdict)
+{
+    Json base = speedDoc(800.0, 1.25e6);
+    Json cand = speedDoc(640.0, 1.25e6);
+    BenchDiffResult result;
+    std::string error;
+    ASSERT_TRUE(diffBenchDocs(base, cand, 0.0, result, error)) << error;
+    std::string text = renderBenchDiff(result);
+    EXPECT_NE(text.find("REGRESSION"), std::string::npos);
+    EXPECT_NE(text.find("kcycles_per_sec"), std::string::npos);
+
+    BenchDiffResult clean;
+    ASSERT_TRUE(diffBenchDocs(base, base, 0.0, clean, error)) << error;
+    EXPECT_NE(renderBenchDiff(clean).find("no regression"),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace smthill

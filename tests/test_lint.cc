@@ -103,6 +103,20 @@ TEST(Lint, NoWallClockFixtures)
                 "src/fixture/no_wall_clock_pass.cc");
 }
 
+TEST(Lint, ProfilerSourceIsExemptFromWallClockRule)
+{
+    // The host profiler is the one sanctioned steady-clock user: the
+    // same clock-reading content lints clean under its own path and
+    // keeps flagging everywhere else.
+    std::vector<Finding> carved = lint::lintFile(
+        "src/common/profile.cc", fixture("no_wall_clock_carveout.cc"));
+    EXPECT_TRUE(carved.empty());
+
+    expectFlagged("no_wall_clock_carveout.cc",
+                  "src/fixture/no_wall_clock_carveout.cc",
+                  "no-wall-clock");
+}
+
 TEST(Lint, NoLibcRandomFixtures)
 {
     expectFlagged("no_libc_random_flag.cc",

@@ -1,0 +1,277 @@
+/**
+ * @file
+ * Unit tests for the host-side span profiler: disabled-by-default
+ * zero collection, nested-span aggregation, exact JSON round-trips,
+ * pool-worker busy/idle spans, Perfetto injection, and the clock
+ * contract — simulator outputs are bit-identical with profiling on
+ * or off at any jobs count.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/event_trace.hh"
+#include "common/profile.hh"
+#include "common/stat_registry.hh"
+#include "common/thread_pool.hh"
+#include "core/offline_exhaustive.hh"
+#include "trace/program_profile.hh"
+
+namespace smthill
+{
+namespace
+{
+
+/** Every profiler test starts and ends clean and disabled. */
+class Profile : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        prof::setProfilingEnabled(false);
+        prof::resetProfile();
+    }
+    void TearDown() override
+    {
+        prof::setProfilingEnabled(false);
+        prof::resetProfile();
+    }
+};
+
+const prof::SpanStats *
+findSpan(const std::vector<prof::SpanStats> &spans,
+         const std::string &name)
+{
+    for (const auto &s : spans)
+        if (s.name == name)
+            return &s;
+    return nullptr;
+}
+
+SmtCpu
+testCpu()
+{
+    ProfileParams mlp;
+    mlp.name = "mlp";
+    mlp.numBlocks = 12;
+    mlp.avgBlockLen = 8;
+    mlp.pLoadCold = 0.08;
+    mlp.meanDepDist = 30;
+    mlp.serialFrac = 0.1;
+    mlp.burstProb = 0.6;
+    mlp.burstMax = 6;
+    ProfileParams ilp = mlp;
+    ilp.name = "ilp";
+    ilp.pLoadCold = 0.0;
+    ilp.meanDepDist = 6;
+    ilp.burstProb = 0.0;
+
+    SmtConfig cfg;
+    cfg.numThreads = 2;
+    std::vector<StreamGenerator> gens;
+    gens.emplace_back(buildProfile(mlp), 0);
+    gens.emplace_back(buildProfile(ilp), 1);
+    SmtCpu cpu(cfg, std::move(gens));
+    cpu.run(80000);
+    return cpu;
+}
+
+TEST_F(Profile, DisabledCollectsNothing)
+{
+    ASSERT_FALSE(prof::profilingEnabled());
+    {
+        SMTHILL_PROF_SCOPE("test.disabled");
+        SMTHILL_PROF_SCOPE("test.disabled.child");
+    }
+    prof::ProfileReport report = prof::profileReport();
+    EXPECT_TRUE(report.spans.empty());
+    EXPECT_EQ(report.parallelEfficiency, -1.0);
+}
+
+TEST_F(Profile, RegistersNoGlobalStats)
+{
+    // The profiler must never widen the exported "counters" blob:
+    // fig09's stats export is bit-compared against pre-profiler runs.
+    std::vector<std::string> before = globalStats().names();
+    prof::setProfilingEnabled(true);
+    {
+        SMTHILL_PROF_SCOPE("test.stats_free");
+    }
+    prof::profileReport();
+    EXPECT_EQ(globalStats().names(), before);
+}
+
+TEST_F(Profile, AggregatesNestedSpans)
+{
+    prof::setProfilingEnabled(true);
+    for (int i = 0; i < 3; ++i) {
+        SMTHILL_PROF_SCOPE("test.parent");
+        {
+            SMTHILL_PROF_SCOPE("test.child");
+        }
+        {
+            SMTHILL_PROF_SCOPE("test.child");
+        }
+    }
+    prof::ProfileReport report = prof::profileReport();
+
+    const prof::SpanStats *parent = findSpan(report.spans, "test.parent");
+    const prof::SpanStats *child = findSpan(report.spans, "test.child");
+    ASSERT_NE(parent, nullptr);
+    ASSERT_NE(child, nullptr);
+    EXPECT_EQ(parent->count, 3u);
+    EXPECT_EQ(child->count, 6u);
+
+    // Self time excludes children: the parent's self is its total
+    // minus the child instances that ran inside it.
+    EXPECT_LE(parent->selfNs, parent->totalNs);
+    EXPECT_EQ(parent->selfNs, parent->totalNs - child->totalNs);
+    // Children have no children, so their self time is their total.
+    EXPECT_EQ(child->selfNs, child->totalNs);
+    EXPECT_LE(parent->maxNs, parent->totalNs);
+
+    // Single-threaded collection: one thread entry mirroring the merge.
+    ASSERT_EQ(report.threads.size(), 1u);
+    EXPECT_EQ(report.threads[0].spans.size(), report.spans.size());
+}
+
+TEST_F(Profile, ResetDropsEverything)
+{
+    prof::setProfilingEnabled(true);
+    {
+        SMTHILL_PROF_SCOPE("test.reset_me");
+    }
+    EXPECT_FALSE(prof::profileReport().spans.empty());
+    prof::resetProfile();
+    EXPECT_TRUE(prof::profileReport().spans.empty());
+}
+
+TEST_F(Profile, JsonRoundTripIsExact)
+{
+    prof::setProfilingEnabled(true);
+    for (int i = 0; i < 5; ++i) {
+        SMTHILL_PROF_SCOPE("test.roundtrip");
+        SMTHILL_PROF_SCOPE("test.roundtrip.inner");
+    }
+    prof::ProfileReport report = prof::profileReport();
+    ASSERT_FALSE(report.spans.empty());
+
+    Json doc = prof::profileToJson(report);
+    EXPECT_EQ(doc.at("schema").asString(), "smthill.profile.v1");
+
+    Json reparsed;
+    std::string error;
+    ASSERT_TRUE(Json::parse(doc.dump(2), reparsed, error)) << error;
+    prof::ProfileReport back;
+    ASSERT_TRUE(prof::profileFromJson(reparsed, back, error)) << error;
+    EXPECT_EQ(back, report);
+}
+
+TEST_F(Profile, FromJsonRejectsMalformedDocs)
+{
+    prof::ProfileReport out;
+    std::string error;
+
+    EXPECT_FALSE(prof::profileFromJson(Json("nope"), out, error));
+    EXPECT_FALSE(error.empty());
+
+    Json wrong = Json::object();
+    wrong.set("schema", Json("smthill.events.v1"));
+    EXPECT_FALSE(prof::profileFromJson(wrong, out, error));
+
+    Json bad_spans = Json::object();
+    bad_spans.set("schema", Json("smthill.profile.v1"));
+    bad_spans.set("parallel_efficiency", Json(-1.0));
+    bad_spans.set("spans", Json("not an array"));
+    bad_spans.set("threads", Json::array());
+    EXPECT_FALSE(prof::profileFromJson(bad_spans, out, error));
+}
+
+TEST_F(Profile, PoolWorkersRecordBusyAndIdleSpans)
+{
+    prof::setProfilingEnabled(true);
+    {
+        ThreadPool pool(2);
+        std::vector<std::uint64_t> out(64, 0);
+        pool.parallelFor(out.size(), [&](std::size_t i) {
+            std::uint64_t acc = 0;
+            for (std::uint64_t k = 0; k < 10000; ++k)
+                acc += (i + 1) * k;
+            out[i] = acc;
+        });
+    } // pool joins: every busy/idle span is closed
+
+    prof::ProfileReport report = prof::profileReport();
+    const prof::SpanStats *busy =
+        findSpan(report.spans, prof::kWorkerBusySpan);
+    ASSERT_NE(busy, nullptr);
+    EXPECT_GT(busy->count, 0u);
+    // Utilization is measured from those spans and must be a ratio.
+    EXPECT_GE(report.parallelEfficiency, 0.0);
+    EXPECT_LE(report.parallelEfficiency, 1.0);
+}
+
+TEST_F(Profile, AppendHostSpansInjectsAHostTrack)
+{
+    prof::setProfilingEnabled(true);
+    {
+        SMTHILL_PROF_SCOPE("test.perfetto");
+    }
+    EventTrace trace;
+    prof::appendHostSpans(trace);
+    ASSERT_GT(trace.size(), 0u);
+
+    std::string text = trace.toJsonl();
+    EXPECT_NE(text.find("test.perfetto"), std::string::npos);
+    EXPECT_NE(text.find("host"), std::string::npos);
+}
+
+TEST_F(Profile, SimOutputsIdenticalAcrossProfilingAndJobs)
+{
+    // The clock contract: an offline sweep — pool workers, arena
+    // restores, per-epoch commits — picks bit-identical partitions
+    // and IPCs whether profiling is off, on serial, or on with a
+    // worker pool.
+    OfflineConfig oc;
+    oc.epochSize = 8192;
+    oc.stride = 32;
+    oc.metric = PerfMetric::AvgIpc;
+
+    auto sweep = [&](bool profiling, int jobs) {
+        prof::setProfilingEnabled(profiling);
+        OfflineConfig cfg = oc;
+        cfg.jobs = jobs;
+        SmtCpu cpu = testCpu();
+        return OfflineExhaustive(cfg).run(cpu, 3);
+    };
+
+    OfflineResult base = sweep(false, 1);
+    OfflineResult on_serial = sweep(true, 1);
+    OfflineResult on_pool = sweep(true, 4);
+    prof::setProfilingEnabled(false);
+
+    ASSERT_EQ(base.epochs.size(), 3u);
+    for (const OfflineResult *other : {&on_serial, &on_pool}) {
+        ASSERT_EQ(other->epochs.size(), base.epochs.size());
+        for (std::size_t e = 0; e < base.epochs.size(); ++e) {
+            EXPECT_EQ(other->epochs[e].best.share[0],
+                      base.epochs[e].best.share[0]);
+            EXPECT_EQ(other->epochs[e].metricValue,
+                      base.epochs[e].metricValue);
+            for (int t = 0; t < base.epochs[e].ipc.numThreads; ++t)
+                EXPECT_EQ(other->epochs[e].ipc.ipc[t],
+                          base.epochs[e].ipc.ipc[t]);
+        }
+    }
+
+    // And the profiled runs actually saw the instrumented hot paths.
+    prof::ProfileReport report = prof::profileReport();
+    EXPECT_NE(findSpan(report.spans, "offline.step_epoch"), nullptr);
+    EXPECT_NE(findSpan(report.spans, "offline.trial_epoch"), nullptr);
+}
+
+} // namespace
+} // namespace smthill

@@ -13,6 +13,9 @@
 #   tidy     clang-tidy wrapper (skips without clang-tidy)
 #   asan     -DSMTHILL_SANITIZE=address build + FuzzSmoke + tests
 #   tsan     -DSMTHILL_SANITIZE=thread build + parallel suites
+#   benchdiff  report-only perf diff of bench/BENCH_sim_speed.json
+#              against a fresh bench_sim_speed run (never fails the
+#              matrix; refresh the baseline when it legitimately moves)
 #
 # Every stage runs even after a failure; the exit status is nonzero
 # iff any stage (other than an explicit skip) failed. Build trees are
@@ -79,6 +82,25 @@ stage_build "$SRC_DIR/build-tsan" -DSMTHILL_SANITIZE=thread &&
      ctest --output-on-failure -j "$JOBS" \
            -R 'ThreadPool|ParallelDeterminism|TsanFixture|FuzzSmoke')
 record tsan $?
+
+echo "== benchdiff: report-only perf diff vs the tracked baseline =="
+# Report-only by design: microbenchmark numbers shift with host load,
+# so the gate informs here and blocks only when run by hand. A fast
+# run (min_time 0.05) is plenty to catch a 2x cliff.
+if [ -x "$SRC_DIR/build/bench/bench_sim_speed" ] &&
+       [ -x "$SRC_DIR/build/tools/smthill_bench_diff" ]; then
+    BENCH_NOW=$SRC_DIR/build/bench_sim_speed_now.json
+    SMTHILL_STATS_JSON="$BENCH_NOW" \
+        "$SRC_DIR/build/bench/bench_sim_speed" \
+        --benchmark_min_time=0.05 > /dev/null 2>&1 &&
+        "$SRC_DIR/build/tools/smthill_bench_diff" \
+            "$SRC_DIR/bench/BENCH_sim_speed.json" "$BENCH_NOW"
+    echo "(benchdiff is report-only; refresh bench/BENCH_sim_speed.json"
+    echo " when a deliberate perf change moves the baseline)"
+    record benchdiff 0
+else
+    record benchdiff 77
+fi
 
 echo
 echo "== hardening matrix =="

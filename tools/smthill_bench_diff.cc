@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Perf-regression gate over bench exports: load two
+ * `smthill.bench.*.v1` / `smthill.profile.v1` documents, compare
+ * metric-by-metric with per-metric noise thresholds, print the table,
+ * and exit nonzero on regression.
+ *
+ * Usage: smthill_bench_diff BASELINE.json CANDIDATE.json [threshold=PCT]
+ *
+ * Exit codes: 0 no regression, 1 regression detected, 2 usage or
+ * input error. `threshold=PCT` overrides every gated metric's default
+ * tolerance (see metricNoisePct in harness/bench_diff.cc).
+ *
+ * Workflow: regenerate a baseline with e.g.
+ *   SMTHILL_STATS_JSON=/tmp/now.json ./build/bench/bench_sim_speed
+ *   smthill_bench_diff bench/BENCH_sim_speed.json /tmp/now.json
+ * and commit the refreshed bench/BENCH_*.json alongside any PR that
+ * moves the numbers on purpose (see README "Observability").
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iterator>
+#include <string>
+
+#include "common/json.hh"
+#include "harness/bench_diff.hh"
+
+namespace
+{
+
+bool
+loadJsonFile(const std::string &path, smthill::Json &out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        std::fprintf(stderr, "smthill_bench_diff: cannot open '%s'\n",
+                     path.c_str());
+        return false;
+    }
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    std::string error;
+    if (!smthill::Json::parse(text, out, error)) {
+        std::fprintf(stderr,
+                     "smthill_bench_diff: '%s' does not parse: %s\n",
+                     path.c_str(), error.c_str());
+        return false;
+    }
+    return true;
+}
+
+void
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: smthill_bench_diff BASELINE.json "
+                 "CANDIDATE.json [threshold=PCT]\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string baselinePath;
+    std::string candidatePath;
+    double threshold = 0.0;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("threshold=", 0) == 0) {
+            char *end = nullptr;
+            threshold = std::strtod(arg.c_str() + 10, &end);
+            if (!end || *end != '\0' || threshold <= 0.0) {
+                std::fprintf(stderr,
+                             "smthill_bench_diff: bad %s (want a "
+                             "positive percent)\n",
+                             arg.c_str());
+                return 2;
+            }
+        } else if (baselinePath.empty()) {
+            baselinePath = arg;
+        } else if (candidatePath.empty()) {
+            candidatePath = arg;
+        } else {
+            usage();
+            return 2;
+        }
+    }
+    if (baselinePath.empty() || candidatePath.empty()) {
+        usage();
+        return 2;
+    }
+
+    smthill::Json baseline;
+    smthill::Json candidate;
+    if (!loadJsonFile(baselinePath, baseline) ||
+        !loadJsonFile(candidatePath, candidate))
+        return 2;
+
+    smthill::BenchDiffResult result;
+    std::string error;
+    if (!smthill::diffBenchDocs(baseline, candidate, threshold, result,
+                                error)) {
+        std::fprintf(stderr, "smthill_bench_diff: %s\n", error.c_str());
+        return 2;
+    }
+    std::fputs(smthill::renderBenchDiff(result).c_str(), stdout);
+    return result.regressed ? 1 : 0;
+}

@@ -41,6 +41,13 @@
  *     ending in ".jsonl" writes the streaming JSONL form; any other
  *     path writes Chrome trace-event / Perfetto JSON loadable at
  *     ui.perfetto.dev.
+ *   snapshots=FILE    (or --snapshots=FILE) streams one
+ *     `smthill.snapshots.v1` delta row of the process-wide
+ *     StatRegistry per measured epoch (single-run mode only).
+ *   profile=1 turns on the host-side span profiler for this run
+ *     (equivalent to SMTHILL_PROFILE=ON); profile_json=FILE writes
+ *     the `smthill.profile.v1` report there instead of the stdout
+ *     span table.
  * GNU-style spellings are accepted: "--stats-json=x" is normalized
  * to "stats_json=x" (dashes only rewritten in the key, not values).
  */
@@ -48,6 +55,7 @@
 #include <cstdio>
 #include <fstream>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -55,7 +63,9 @@
 #include "common/json.hh"
 #include "common/log.hh"
 #include "common/options.hh"
+#include "common/profile.hh"
 #include "common/stat_registry.hh"
+#include "common/stat_snapshot.hh"
 #include "core/epoch_trace.hh"
 #include "core/hill_climbing.hh"
 #include "harness/report.hh"
@@ -186,6 +196,36 @@ statsDocument()
     return root;
 }
 
+/**
+ * Emit the host-profile report when profiling is on: to @p path as a
+ * `smthill.profile.v1` document, or as a stdout span summary when
+ * @p path is empty. No-op with profiling off, so default CLI output
+ * is untouched.
+ */
+void
+exportProfile(const std::string &path)
+{
+    if (!prof::profilingEnabled())
+        return;
+    const prof::ProfileReport report = prof::profileReport();
+    if (!path.empty()) {
+        writeTextFile(path, prof::profileToJson(report).dump(2) + "\n");
+        std::printf("wrote host profile to %s (%zu spans, "
+                    "parallel_efficiency %.3f)\n",
+                    path.c_str(), report.spans.size(),
+                    report.parallelEfficiency);
+        return;
+    }
+    std::printf("\nhost profile (parallel_efficiency %.3f):\n",
+                report.parallelEfficiency);
+    for (const prof::SpanStats &s : report.spans)
+        std::printf("  %-28s count=%llu total_ms=%.3f self_ms=%.3f\n",
+                    s.name.c_str(),
+                    static_cast<unsigned long long>(s.count),
+                    static_cast<double>(s.totalNs) / 1e6,
+                    static_cast<double>(s.selfNs) / 1e6);
+}
+
 /** Split a comma-separated list; empty pieces are dropped. */
 std::vector<std::string>
 splitList(const std::string &s)
@@ -298,6 +338,9 @@ main(int argc, char **argv)
     std::string stats_json;
     std::string epoch_trace;
     std::string event_trace;
+    std::string snapshots;
+    std::string profile_json;
+    bool profile_on = false;
 
     OptionSet opts;
     opts.addString("workload", &workload_name,
@@ -321,6 +364,15 @@ main(int argc, char **argv)
                    "write the smthill.events.v1 cycle-level event "
                    "trace here (.jsonl extension selects JSONL; "
                    "anything else gets Perfetto JSON)");
+    opts.addString("snapshots", &snapshots,
+                   "stream one smthill.snapshots.v1 stat-delta row "
+                   "per epoch to this JSONL file");
+    opts.addBool("profile", &profile_on,
+                 "turn on the host span profiler "
+                 "(same as SMTHILL_PROFILE=ON)");
+    opts.addString("profile_json", &profile_json,
+                   "write the smthill.profile.v1 host-profile report "
+                   "here (default: stdout span table)");
     opts.addInt("trace", &trace_events,
                 "dump the last N pipeline events after the run");
     opts.addInt32("jobs", &rc.jobs,
@@ -370,6 +422,8 @@ main(int argc, char **argv)
                   "' (use key=value; see 'help')"));
     if (!config_file.empty() && !opts.loadFile(config_file, error))
         fatal(error);
+    if (profile_on)
+        prof::setProfilingEnabled(true);
 
     std::vector<std::string> workload_names = splitList(workload_name);
     std::vector<std::string> policy_names = splitList(policy_name);
@@ -377,12 +431,14 @@ main(int argc, char **argv)
         fatal("workload/policy lists must not be empty");
     if (workload_names.size() > 1 || policy_names.size() > 1) {
         if (csv || trace_events > 0 || !epoch_trace.empty() ||
-            !event_trace.empty())
-            fatal("csv/trace/epoch_trace/event_trace are single-run "
-                  "features; drop them or run one workload x policy "
-                  "cell");
-        return runCliGrid(workload_names, policy_names, rc,
-                          solo_epochs, stats_json);
+            !event_trace.empty() || !snapshots.empty())
+            fatal("csv/trace/epoch_trace/event_trace/snapshots are "
+                  "single-run features; drop them or run one workload "
+                  "x policy cell");
+        int status = runCliGrid(workload_names, policy_names, rc,
+                                solo_epochs, stats_json);
+        exportProfile(profile_json);
+        return status;
     }
 
     const Workload &workload = workloadByName(workload_name);
@@ -419,8 +475,35 @@ main(int argc, char **argv)
         policy->setEventTrace(&event_tracer, 0);
     }
 
-    RunResult res =
-        runPolicyOn(std::move(cpu), *policy, rc.epochs, rc.epochSize);
+    // Per-epoch stat snapshots: the observer samples the process-wide
+    // registry after every policy.epoch() hook, stamped with the
+    // machine's own cycle clock.
+    std::ofstream snapshot_out;
+    std::optional<StatSnapshotter> snapshotter;
+    if (!snapshots.empty()) {
+        snapshot_out.open(snapshots, std::ios::binary);
+        if (!snapshot_out)
+            fatal(msg("cannot write '", snapshots, "'"));
+        snapshotter.emplace(globalStats());
+        snapshotter->streamTo(&snapshot_out);
+    }
+    EpochObserver on_epoch;
+    if (snapshotter) {
+        on_epoch = [&](int e, const SmtCpu &c) {
+            snapshotter->sample(static_cast<std::uint64_t>(e), c.now());
+        };
+    }
+
+    RunResult res = runPolicyOn(std::move(cpu), *policy, rc.epochs,
+                                rc.epochSize, on_epoch);
+
+    if (snapshotter) {
+        snapshotter->streamTo(nullptr);
+        if (!snapshot_out)
+            fatal(msg("cannot write '", snapshots, "'"));
+        std::printf("wrote %zu stat snapshots to %s\n",
+                    snapshotter->rows().size(), snapshots.c_str());
+    }
 
     PerfMetric metric = policyMetric(policy_name);
     if (!epoch_trace.empty()) {
@@ -503,6 +586,7 @@ main(int argc, char **argv)
                             ? res.epochs[e].partition.share[0]
                             : -1);
         }
+        exportProfile(profile_json);
         return 0;
     }
 
@@ -531,5 +615,6 @@ main(int argc, char **argv)
         std::printf("\nlast %zu pipeline events:\n", tracer.size());
         tracer.dump(stdout);
     }
+    exportProfile(profile_json);
     return 0;
 }
